@@ -1,0 +1,60 @@
+"""Ablation — the chunk height C: padding cost vs SIMD width.
+
+DESIGN.md calls out C as the central design parameter: it must equal the
+target's SIMD width (8/16/32), but the complexity analysis (Fig 3, Table
+III) prices every increase — padded storage grows like ρ̂·C and with it the
+per-sweep work.  This bench sweeps C and verifies the bound and the
+lane-efficiency trade-off the paper's architecture choice balances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.complexity import sell_storage_upper_bound
+from repro.bfs.spmv import BFSSpMV
+from repro.formats.slimsell import SlimSell
+from repro.graphs.kronecker import kronecker
+
+from _common import print_table, save_results
+
+WIDTHS = [1, 4, 8, 16, 32, 64]
+
+
+def test_c_width_tradeoff(benchmark):
+    g = kronecker(12, 8, seed=31)
+    root = int(np.argmax(g.degrees))
+
+    def sweep():
+        out = {}
+        for C in WIDTHS:
+            rep = SlimSell(g, C, g.n)
+            res = BFSSpMV(rep, "tropical", slimwork=True, counting=True,
+                          compute_parents=False).run(root)
+            tot = res.total_counters()
+            out[C] = {
+                "padding": rep.padding_slots,
+                "cells": rep.storage_cells(),
+                "instructions": tot.total_instructions,
+                "lanes": tot.lanes,
+            }
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[C, v["padding"], v["cells"], v["instructions"], v["lanes"]]
+            for C, v in out.items()]
+    print_table("Ablation: chunk height C (SlimSell, σ=n, Kronecker 2^12)",
+                ["C", "padding slots", "cells", "vector instr", "lanes"], rows)
+    save_results("ablation_c_width", out)
+
+    pads = [out[C]["padding"] for C in WIDTHS]
+    # Padding grows monotonically with C (coarser chunks, more waste) …
+    assert all(b >= a for a, b in zip(pads, pads[1:]))
+    # … but stays within the paper's bound P_slots <= rho_max * C.
+    for C in WIDTHS:
+        assert out[C]["padding"] + 2 * g.m <= sell_storage_upper_bound(
+            2 * g.m, g.max_degree, C)
+    # Wider C retires far fewer vector instructions (the SIMD win):
+    assert out[32]["instructions"] < out[1]["instructions"] / 8
+    # C=1 degenerates to scalar processing: zero padding.
+    assert out[1]["padding"] == 0

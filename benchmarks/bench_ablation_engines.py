@@ -1,0 +1,51 @@
+"""Ablation — chunk engine vs layer engine wall clock.
+
+A meta-demonstration of the paper's own thesis: the chunk engine executes
+the listings chunk-by-chunk (a Python-level loop ≈ scalar execution), while
+the layer engine processes all chunks of one column layer in a single
+vectorized NumPy operation (≈ wide SIMD).  Same results, counted work
+identical — the wall-clock gap is pure vectorization.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bfs.spmv import BFSSpMV
+from repro.formats.slimsell import SlimSell
+from repro.graphs.kronecker import kronecker
+
+from _common import print_table, save_results
+
+
+def test_engine_vectorization_gap(benchmark):
+    g = kronecker(12, 16, seed=17)
+    root = int(np.argmax(g.degrees))
+    rep = SlimSell(g, 8, g.n)
+
+    chunk_eng = BFSSpMV(rep, "tropical", engine="chunk", compute_parents=False)
+    layer_eng = BFSSpMV(rep, "tropical", engine="layer", compute_parents=False)
+
+    t0 = time.perf_counter()
+    res_chunk = chunk_eng.run(root)
+    t_chunk = time.perf_counter() - t0
+
+    res_layer = benchmark.pedantic(lambda: layer_eng.run(root),
+                                   rounds=3, iterations=1)
+    t_layer = min(res_layer.total_time_s, 10.0)
+
+    np.testing.assert_array_equal(res_chunk.dist, res_layer.dist)
+    speedup = t_chunk / t_layer
+    print_table(
+        "Ablation: execution engines (identical results, identical work)",
+        ["engine", "wall time [s]", "speedup"],
+        [["chunk (per-chunk loop)", f"{t_chunk:.4f}", "1.0"],
+         ["layer (vectorized)", f"{t_layer:.4f}", f"{speedup:.1f}x"]])
+    save_results("ablation_engines", {
+        "chunk_s": t_chunk, "layer_s": t_layer, "speedup": speedup})
+    # Vectorizing across chunks must clearly win — that's the paper's
+    # point.  (The gap grows with graph size; at this CI scale the layer
+    # engine's residual per-layer Python overhead caps it at a few x.)
+    assert speedup > 2.0

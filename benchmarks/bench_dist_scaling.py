@@ -1,0 +1,108 @@
+"""Extension bench — §VI distributed-memory scaling (1D decomposition).
+
+Strong scaling of the simulated distributed BFS-SpMV: one graph, P ∈
+{1, 2, 4, 8, 16} ranks of KNL nodes on a Cray-class interconnect.  The
+classic 1D-BFS story must emerge: local compute shrinks ~1/P while the
+frontier allgather stays constant, so communication dominates at scale —
+the reason [9] moves to 2D decompositions, and the challenge §VI leaves
+open for SlimSell.  Also contrasts naive block partitioning against
+work-balanced bands (the distributed analog of Fig 5a's imbalance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.validate import reference_distances
+from repro.dist.bfs1d import bfs_dist_1d
+from repro.dist.bfs2d import bfs_dist_2d
+from repro.dist.network import CRAY_ARIES
+from repro.dist.partition import Partition1D
+from repro.formats.slimsell import SlimSell
+from repro.vec.machine import get_machine
+
+from _common import print_table, save_results
+
+RANKS = [1, 2, 4, 8, 16]
+KNL = get_machine("knl")
+
+
+def test_dist_strong_scaling(kron_bench, benchmark):
+    g = kron_bench
+    rep = SlimSell(g, 16, g.n)
+    root = int(np.argmax(g.degrees))
+    ref = reference_distances(g, root)
+
+    def sweep():
+        out = {}
+        for P in RANKS:
+            res = bfs_dist_1d(rep, root, Partition1D.balanced(rep.cl, P),
+                              KNL, CRAY_ARIES)
+            same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
+            assert same.all(), f"P={P}: wrong distances"
+            out[P] = {
+                "t_local": sum(it.t_local_s for it in res.iterations),
+                "t_comm": sum(it.t_comm_s for it in res.iterations),
+                "t_total": res.modeled_total_s,
+                "comm_bytes": res.total_comm_bytes,
+                "imbalance": float(np.mean([it.imbalance
+                                            for it in res.iterations])),
+            }
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[P, v["t_local"], v["t_comm"], v["t_total"],
+             f"{out[1]['t_total'] / v['t_total']:.2f}",
+             f"{v['imbalance']:.2f}"] for P, v in out.items()]
+    print_table(
+        "§VI (extension): 1D-distributed BFS strong scaling (KNL + Aries)",
+        ["ranks", "t_local [s]", "t_comm [s]", "t_total [s]", "speedup",
+         "imbalance"], rows)
+    save_results("dist_scaling", out)
+
+    # Local compute shrinks with P …
+    assert out[16]["t_local"] < out[1]["t_local"]
+    # … but the frontier allgather does not, so communication's share grows.
+    frac = {P: v["t_comm"] / v["t_total"] for P, v in out.items() if P > 1}
+    assert frac[16] > frac[2]
+    # Naive block partitioning is worse-balanced than prefix-sum bands.
+    naive = bfs_dist_1d(rep, root, Partition1D.blocks(rep.nc, 8),
+                        KNL, CRAY_ARIES)
+    balanced = bfs_dist_1d(rep, root, Partition1D.balanced(rep.cl, 8),
+                           KNL, CRAY_ARIES)
+    assert balanced.iterations[0].imbalance <= naive.iterations[0].imbalance
+
+
+def test_dist_1d_vs_2d_communication(kron_bench, benchmark):
+    """[9]'s scalability argument: 2D grids shrink per-rank traffic."""
+    g = kron_bench
+    rep = SlimSell(g, 16, g.n)
+    root = int(np.argmax(g.degrees))
+    ref = reference_distances(g, root)
+
+    def compare():
+        out = {}
+        for label, run in (
+            ("1D P=16", lambda: bfs_dist_1d(
+                rep, root, Partition1D.balanced(rep.cl, 16), KNL, CRAY_ARIES)),
+            ("2D 4x4", lambda: bfs_dist_2d(rep, root, (4, 4), KNL, CRAY_ARIES)),
+            ("2D 8x2", lambda: bfs_dist_2d(rep, root, (8, 2), KNL, CRAY_ARIES)),
+        ):
+            res = run()
+            same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
+            assert same.all(), label
+            out[label] = {
+                "comm_per_iter": res.iterations[0].comm_bytes,
+                "t_comm": sum(it.t_comm_s for it in res.iterations),
+                "t_total": res.modeled_total_s,
+            }
+        return out
+
+    out = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print_table(
+        "§VI (extension): 1D vs 2D decomposition at 16 ranks",
+        ["layout", "comm bytes/iter", "t_comm [s]", "t_total [s]"],
+        [[k, v["comm_per_iter"], v["t_comm"], v["t_total"]]
+         for k, v in out.items()])
+    save_results("dist_1d_vs_2d", out)
+    assert out["2D 4x4"]["comm_per_iter"] < out["1D P=16"]["comm_per_iter"]

@@ -1,0 +1,101 @@
+"""Figure 7 — storage of AL vs Sell-C-σ vs SlimSell across graphs and σ.
+
+Panels reproduced (scaled):
+
+* 7a/7c — Kronecker grid: (log n, ρ) pairs trading density for size, at
+  σ ∈ {n, √n} and σ ∈ {n/4, n/8}.
+* 7b/7d — real-world proxies, relative sizes.
+
+Shape targets: SlimSell ≈ half of Sell-C-σ everywhere; with large sorting
+scope SlimSell is also smaller than AL on Kronecker graphs (the paper's
+≈5–10%), and the same sets in for σ ≥ √n on real-world graphs; with small
+sorting scope padding can push the chunked formats above AL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.storage import storage_report
+from repro.graphs.kronecker import kronecker
+from repro.graphs.realworld import REALWORLD_REGISTRY, realworld_proxy
+
+from _common import print_table, save_results
+
+C = 8
+# Scaled analog of the paper's 2^k–rho ladder (denser graphs, fewer
+# vertices) plus a larger point that reaches the inequality-(3) crossover.
+KRON_GRID = [(9, 64), (10, 32), (11, 16), (12, 8), (13, 4), (14, 2), (14, 8)]
+
+
+def _sigma_values(n):
+    return {"n": n, "sqrt(n)": max(1, int(np.sqrt(n))),
+            "n/4": max(1, n // 4), "n/8": max(1, n // 8)}
+
+
+def test_fig7_kronecker_grid(benchmark):
+    def compute():
+        out = {}
+        for scale, ef in KRON_GRID:
+            g = kronecker(scale, ef, seed=77)
+            for label, sigma in _sigma_values(g.n).items():
+                rep = storage_report(g, C, sigma)
+                out[f"{scale}-{ef}|{label}"] = {
+                    "al": rep.al_cells, "sell": rep.sell_cells,
+                    "slim": rep.slimsell_cells, "P": rep.padding_slots,
+                }
+        return out
+
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for key, v in out.items():
+        rows.append([key, v["al"], v["sell"], v["slim"],
+                     f"{v['slim'] / v['al']:.3f}", f"{v['slim'] / v['sell']:.3f}"])
+    print_table("Fig 7a/7c (scaled): Kronecker storage [cells]",
+                ["graph|sigma", "AL", "Sell-C-σ", "SlimSell", "slim/AL",
+                 "slim/sell"], rows)
+    save_results("fig07_kron_grid", out)
+
+    for key, v in out.items():
+        # SlimSell is always the smaller chunked format.
+        assert v["slim"] < v["sell"]
+    # The SlimSell-vs-AL ratio improves with n (P ≈ ρ̂·C grows sublinearly
+    # in n, the paper's graphs at n >= 2^20 sit past the crossover) …
+    ratios = {k: v["slim"] / v["al"] for k, v in out.items() if k.endswith("|n")}
+    assert ratios["14-8|n"] < ratios["11-16|n"] < ratios["9-64|n"]
+    # … and the largest grid point already crosses it (SlimSell < AL).
+    assert ratios["14-8|n"] < 1.0
+    # Sell-C-σ never beats AL (it stores val *and* col).
+    assert all(v["sell"] > v["al"] for v in out.values())
+
+
+def test_fig7_realworld(benchmark):
+    ids = sorted(REALWORLD_REGISTRY)
+
+    def compute():
+        out = {}
+        for gid in ids:
+            g = realworld_proxy(gid, downscale=256, seed=1)
+            for label, sigma in _sigma_values(g.n).items():
+                rep = storage_report(g, C, sigma)
+                out[f"{gid}|{label}"] = {
+                    "al": rep.al_cells, "sell": rep.sell_cells,
+                    "slim": rep.slimsell_cells,
+                    "rel_sell": rep.sell_cells / rep.al_cells,
+                    "rel_slim": rep.slimsell_cells / rep.al_cells,
+                }
+        return out
+
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [[k, f"{v['rel_sell']:.2f}", f"{v['rel_slim']:.2f}"]
+            for k, v in out.items()]
+    print_table("Fig 7b/7d (scaled): real-world storage relative to AL",
+                ["graph|sigma", "Sell-C-σ/AL", "SlimSell/AL"], rows)
+    save_results("fig07_realworld", out)
+
+    for gid in ids:
+        # σ = n is never worse than σ = n/8 for the chunked formats.
+        assert out[f"{gid}|n"]["slim"] <= out[f"{gid}|n/8"]["slim"] * 1.001
+        # SlimSell stays within a modest factor of AL at full sort; the
+        # paper reports comparable-or-better for σ >= sqrt(n).
+        assert out[f"{gid}|n"]["rel_slim"] < 1.35

@@ -1,0 +1,56 @@
+"""Figure 8 — KNL fine-grained analysis (tropical semiring, C=16).
+
+Per-iteration times on Kronecker graphs for growing (log n, ρ): the paper's
+panels (a) n=2^20 with ρ ∈ {16, 32, 64} and (b) n ∈ {2^21, 2^22}.  Scaled to
+(11, {8, 16, 32}) and ({12, 13}, ...).  Shape targets: iteration latency
+grows with both n and ρ, and the compute time drops after the early
+iterations once SlimWork starts skipping settled chunks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.slimsell import SlimSell
+from repro.graphs.kronecker import kronecker
+from repro.vec.machine import get_machine
+
+from _common import modeled_spmv_run, print_table, save_results
+
+C = 16
+KNL = get_machine("knl")
+GRID_A = [(11, 8), (11, 16), (11, 32)]
+GRID_B = [(12, 8), (12, 16), (13, 8)]
+
+
+def _run(scale, ef):
+    g = kronecker(scale, ef, seed=88)
+    root = int(np.argmax(g.degrees))
+    rep = SlimSell(g, C, g.n)
+    _, times, total = modeled_spmv_run(KNL, rep, "tropical", root,
+                                       slimwork=True, include_dp=False)
+    return [t.t_total for t in times], total
+
+
+def test_fig8_knl_fine_grained(benchmark):
+    results = benchmark.pedantic(
+        lambda: {f"{s}-{e}": _run(s, e) for s, e in GRID_A + GRID_B},
+        rounds=1, iterations=1)
+    series = {k: v[0] for k, v in results.items()}
+    totals = {k: v[1] for k, v in results.items()}
+    kmax = max(len(s) for s in series.values())
+    keys = list(series)
+    rows = [[k + 1] + [series[key][k] if k < len(series[key]) else ""
+                       for key in keys] for k in range(kmax)]
+    print_table("Fig 8 (scaled): KNL per-iteration modeled time [s]",
+                ["iter"] + keys, rows)
+    save_results("fig08_knl", {"series": series, "totals": totals})
+
+    # Latency grows with rho at fixed n …
+    assert totals["11-32"] > totals["11-16"] > totals["11-8"]
+    # … and with n at fixed rho.
+    assert totals["13-8"] > totals["12-8"] > totals["11-8"]
+    # KNL secures a drop in compute after the first iterations (§IV-C).
+    for key in keys:
+        s = series[key]
+        assert s[-1] < max(s)

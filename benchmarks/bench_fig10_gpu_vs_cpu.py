@@ -1,0 +1,69 @@
+"""Figure 10 — Trad-BFS on a CPU vs BFS-SpMV with SlimSell on a GPU.
+
+Paper setup: tropical semiring, C=32, Kronecker n=2^20, ρ ∈ {128, 256, 512};
+the optimized traditional BFS runs on the Xeon where it is fastest, the
+algebraic BFS on the Tesla K80.  "The higher ρ (denser G), the faster
+BFS-SpMV is" — dense graphs give the GPU enough SIMD potential to beat the
+latency-oriented CPU.
+
+Scaled setup: n=2^11, ρ ∈ {16, 64, 128}.  Shape target: the GPU/CPU total
+time ratio improves monotonically with density, with the GPU winning at the
+dense end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.traditional import bfs_top_down
+from repro.formats.slimsell import SlimSell
+from repro.graphs.kronecker import kronecker
+from repro.perf.costmodel import model_traditional_result
+from repro.vec.machine import get_machine
+
+from _common import modeled_spmv_run, print_table, save_results
+
+C = 32
+CPU = get_machine("dora")
+GPU = get_machine("tesla-k80")
+RHOS = [8, 32, 64]  # edgefactors: realized rho ~= 2x
+
+
+def _compare(ef):
+    g = kronecker(11, ef, seed=55)
+    root = int(np.argmax(g.degrees))
+    trad = bfs_top_down(g, root)
+    t_cpu = [t.t_total for t in model_traditional_result(CPU, trad)]
+    rep = SlimSell(g, C, g.n)
+    _, times, _ = modeled_spmv_run(GPU, rep, "tropical", root,
+                                   slimwork=True, include_dp=False)
+    t_gpu = [t.t_total for t in times]
+    return g, t_cpu, t_gpu
+
+
+def test_fig10_gpu_spmv_vs_cpu_trad(benchmark):
+    data = benchmark.pedantic(
+        lambda: {ef: _compare(ef) for ef in RHOS}, rounds=1, iterations=1)
+    ratios = {}
+    payload = {}
+    for ef, (g, t_cpu, t_gpu) in data.items():
+        kmax = max(len(t_cpu), len(t_gpu))
+        rows = [[k + 1,
+                 t_cpu[k] if k < len(t_cpu) else "",
+                 t_gpu[k] if k < len(t_gpu) else ""] for k in range(kmax)]
+        print_table(
+            f"Fig 10 rho~{2 * ef} (scaled): per-iteration modeled time [s]",
+            ["iter", "Trad-BFS (CPU)", "BFS-SpMV SlimSell (GPU)"], rows)
+        ratios[ef] = sum(t_cpu) / sum(t_gpu)
+        payload[str(ef)] = {"cpu_trad": t_cpu, "gpu_spmv": t_gpu,
+                            "rho": g.avg_degree}
+    print_table("Fig 10 summary: CPU-trad / GPU-SpMV total-time ratio",
+                ["edgefactor", "ratio (>1 = GPU wins)"],
+                [[ef, f"{r:.2f}"] for ef, r in ratios.items()])
+    save_results("fig10_gpu_vs_cpu", {"series": payload, "ratios": ratios})
+
+    vals = [ratios[ef] for ef in RHOS]
+    # Denser graphs shift the balance toward the GPU (monotone trend)…
+    assert vals[-1] > vals[0]
+    # …and at the dense end the GPU-side SpMV wins outright.
+    assert vals[-1] > 1.0

@@ -1,0 +1,73 @@
+"""Headline protocol — Graph500-style TEPS comparison (§I: "accelerates a
+tuned Graph500 BFS code by up to 33%").
+
+Runs the official kernel protocol (random valid roots, five-check tree
+validation, harmonic-mean TEPS) over three engines on the same Kronecker
+problem: the traditional top-down baseline, BFS-SpMV with SlimSell +
+SlimWork, and the push/pull hybrid.  Wall-clock TEPS of the NumPy engines
+measure algorithmic work; the modeled cross-architecture comparison lives
+in the Fig 9/10 benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.hybrid import bfs_hybrid
+from repro.bfs.spmv import BFSSpMV
+from repro.bfs.traditional import bfs_top_down
+from repro.formats.slimsell import SlimSell
+from repro.graph500 import run_graph500
+
+from _common import print_table, save_results
+
+SCALE, EDGEFACTOR, NROOTS = 10, 16, 12
+
+
+def test_graph500_protocol(benchmark):
+    engines = {}
+
+    def make_spmv(graph):
+        rep = SlimSell(graph, 16, graph.n)
+        eng = BFSSpMV(rep, "sel-max", slimwork=True)
+        return lambda g, r: eng.run(r), rep
+
+    # Build once per engine via the kernel's own construction step.
+    def run_all():
+        out = {}
+        out["traditional"] = run_graph500(
+            SCALE, EDGEFACTOR, bfs=bfs_top_down, nroots=NROOTS, seed=5)
+        from repro.graphs.kronecker import kronecker
+
+        g = kronecker(SCALE, EDGEFACTOR, seed=5)
+        spmv_fn, rep = make_spmv(g)
+        out["spmv-slimsell"] = run_graph500(
+            SCALE, EDGEFACTOR, bfs=spmv_fn, nroots=NROOTS, seed=5)
+        out["hybrid"] = run_graph500(
+            SCALE, EDGEFACTOR, bfs=lambda gg, r: bfs_hybrid(rep, r),
+            nroots=NROOTS, seed=5)
+        return out
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    payload = {}
+    for name, rpt in reports.items():
+        rows.append([name, len(rpt.runs), f"{rpt.harmonic_mean_teps:.3e}",
+                     f"{rpt.min_teps:.3e}", f"{rpt.max_teps:.3e}",
+                     f"{rpt.median_time_s * 1e3:.2f}"])
+        payload[name] = {
+            "harmonic_mean_teps": rpt.harmonic_mean_teps,
+            "min_teps": rpt.min_teps, "max_teps": rpt.max_teps,
+            "median_time_ms": rpt.median_time_s * 1e3,
+        }
+    print_table(
+        f"Graph500 protocol (scale={SCALE}, edgefactor={EDGEFACTOR}, "
+        f"{NROOTS} validated roots)",
+        ["engine", "roots", "hmean TEPS", "min", "max", "median ms"], rows)
+    save_results("graph500", payload)
+
+    # Every engine's trees passed the five-check validation (implicit), and
+    # every engine reports sane TEPS.
+    for name, rpt in reports.items():
+        assert rpt.harmonic_mean_teps > 0, name
+        assert len(rpt.runs) == NROOTS, name

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Architecture comparison: the same BFS modeled on all seven testbed systems.
+
+Replays the paper's central systems question — where does vectorized
+BFS-SpMV pay off? — by running one counted traversal per SIMD width
+(C = 8 / 16 / 32) and modeling it on each of the paper's seven machines
+(§IV "Experimental Setup"), next to the modeled traditional BFS.
+
+Run:  python examples/architecture_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MACHINES, BFSSpMV, SlimSell, bfs_top_down, kronecker
+from repro.perf.costmodel import model_bfs_result, model_traditional_result
+
+
+def main() -> None:
+    g = kronecker(scale=11, edgefactor=32, seed=3)  # dense: SIMD-friendly
+    root = int(np.argmax(g.degrees))
+    print(f"workload: Kronecker n={g.n}, m={g.m}, ρ̄={g.avg_degree:.0f} "
+          f"(dense — the regime where the paper's GPUs win)\n")
+
+    # One counted SpMV run per SIMD width.
+    spmv_runs = {}
+    for C in (8, 16, 32):
+        rep = SlimSell(g, C, sigma=g.n)
+        res = BFSSpMV(rep, "tropical", slimwork=True, counting=True,
+                      compute_parents=False).run(root)
+        spmv_runs[C] = res
+    trad = bfs_top_down(g, root)
+
+    header = (f"{'machine':18s} {'kind':9s} {'C':>3s} "
+              f"{'SpMV modeled':>14s} {'Trad modeled':>14s} {'SpMV/Trad':>10s}")
+    print(header)
+    print("-" * len(header))
+    winners = {}
+    for name, machine in sorted(MACHINES.items()):
+        res = spmv_runs[machine.simd_width]
+        t_spmv = sum(t.t_total for t in model_bfs_result(machine, res))
+        t_trad = sum(t.t_total for t in model_traditional_result(machine, trad))
+        ratio = t_trad / t_spmv
+        winners[name] = ratio
+        print(f"{name:18s} {machine.kind:9s} {machine.simd_width:3d} "
+              f"{t_spmv:14.3e} {t_trad:14.3e} {ratio:9.2f}x")
+
+    best = max(winners, key=winners.get)
+    print(f"\nlargest same-machine SpMV advantage: {best} "
+          f"({winners[best]:.2f}x) — scalar queue BFS wastes a GPU's warps, "
+          f"so on wide-SIMD machines the vectorized formulation is the only "
+          f"sensible one.")
+    print("The paper's headline comparison is cross-machine (GPU SpMV vs "
+          "the CPU where traditional BFS is fastest) — see "
+          "benchmarks/bench_fig10_gpu_vs_cpu.py for that ~1.5x regime.")
+    print("On narrow-SIMD, latency-oriented CPUs the work-efficient "
+          "traditional BFS stays competitive; vectorization pays on "
+          "KNL-class manycores and GPUs.")
+
+
+if __name__ == "__main__":
+    main()

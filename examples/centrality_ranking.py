@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Centrality ranking: SlimSell beyond BFS (§VI's future work, delivered).
+
+Ranks the vertices of a social-network proxy by PageRank and (sampled)
+betweenness centrality, both computed as SpMV products over one shared
+SlimSell representation — the paper's closing argument that the
+representation generalizes to algorithms with per-superstep-uniform
+communication.
+
+Run:  python examples/centrality_ranking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SlimSell, betweenness_centrality, pagerank, realworld_proxy
+from repro.bfs.operator import SlimSpMV
+
+
+def main() -> None:
+    g = realworld_proxy("epi", downscale=16, seed=11)
+    print(f"Epinions proxy: n={g.n}, m={g.m}, ρ̄={g.m / g.n:.1f}")
+
+    # One representation powers everything.
+    rep = SlimSell(g, C=8, sigma=g.n)
+    print(f"SlimSell: {rep.storage_cells()} cells, "
+          f"built in {rep.build_time_s * 1e3:.0f} ms\n")
+
+    pr = pagerank(rep, alpha=0.85)
+    sources = np.random.default_rng(0).choice(g.n, size=min(64, g.n),
+                                              replace=False)
+    bc = betweenness_centrality(rep, sources=sources)
+
+    deg = g.degrees
+    top_pr = np.argsort(-pr)[:10]
+    print(f"{'rank':>4s} {'vertex':>7s} {'pagerank':>10s} "
+          f"{'betweenness':>12s} {'degree':>7s}")
+    for i, v in enumerate(top_pr, 1):
+        print(f"{i:4d} {v:7d} {pr[v]:10.5f} {bc[v]:12.6f} {deg[v]:7d}")
+
+    # Sanity: the two centralities broadly agree on who matters.
+    k = max(10, g.n // 20)
+    top_pr_set = set(np.argsort(-pr)[:k].tolist())
+    top_bc_set = set(np.argsort(-bc)[:k].tolist())
+    overlap = len(top_pr_set & top_bc_set) / k
+    print(f"\ntop-{k} overlap between PageRank and betweenness: {overlap:.0%}")
+
+    # The §VI uniformity claim, measured: PageRank supersteps are uniform.
+    op = SlimSpMV(rep, "real")
+    import time
+
+    x = pr.copy()
+    inv = np.where(deg > 0, 1.0 / np.maximum(deg, 1), 0.0)
+    times = []
+    for _ in range(8):
+        t0 = time.perf_counter()
+        x = 0.15 / g.n + 0.85 * op(x * inv)
+        times.append(time.perf_counter() - t0)
+    print(f"PageRank superstep times: mean {np.mean(times) * 1e3:.2f} ms, "
+          f"CV {np.std(times) / np.mean(times):.1%} — identical "
+          f"communication every superstep, as §VI predicts.")
+
+
+if __name__ == "__main__":
+    main()

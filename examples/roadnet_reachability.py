@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Road-network reachability: where SlimSell does NOT shine (and why).
+
+§IV-A5 of the paper: graphs with high diameter and low average degree
+(amz, rca) see "small or no improvement from SlimWork, regardless of σ" —
+each of the many BFS iterations touches only a thin frontier, so algebraic
+full-matrix sweeps waste work that traditional BFS never does.
+
+This example quantifies that honestly on the California-road proxy:
+SlimWork's chunk skipping barely dents the work, the iteration count is in
+the hundreds, and direction-optimizing traditional BFS is the right tool.
+
+Run:  python examples/roadnet_reachability.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BFSSpMV,
+    SlimSell,
+    bfs_direction_optimizing,
+    bfs_top_down,
+    realworld_proxy,
+)
+from repro.graphs.utils import largest_component
+
+
+def main() -> None:
+    g = largest_component(realworld_proxy("rca", downscale=1024, seed=5))
+    print(f"road proxy: n={g.n}, m={g.m}, ρ̄={g.m / g.n:.2f}, "
+          f"max degree={g.max_degree} (published rca: ρ̄=1.4, D=849)")
+    root = 0
+
+    rep = SlimSell(g, C=8, sigma=g.n)
+    plain = BFSSpMV(rep, "tropical", compute_parents=False).run(root)
+    slim = BFSSpMV(rep, "tropical", slimwork=True,
+                   compute_parents=False).run(root)
+    w_plain = sum(it.work_lanes for it in plain.iterations)
+    w_slim = sum(it.work_lanes for it in slim.iterations)
+    print(f"\nBFS-SpMV: {plain.n_iterations} iterations (high diameter!)")
+    print(f"SlimWork work reduction: {1 - w_slim / w_plain:.1%} "
+          f"(the paper: 'small or no improvement ... regardless of σ')")
+
+    trad = bfs_top_down(g, root)
+    do = bfs_direction_optimizing(g, root)
+    e_trad = sum(it.edges_examined for it in trad.iterations)
+    e_spmv_equiv = w_slim  # one lane ≈ one adjacency slot examined
+    print(f"\nwork comparison (adjacency entries touched):")
+    print(f"  traditional top-down : {e_trad:10d}")
+    print(f"  direction-optimizing : "
+          f"{sum(it.edges_examined for it in do.iterations):10d}")
+    print(f"  BFS-SpMV + SlimWork  : {e_spmv_equiv:10d} "
+          f"({e_spmv_equiv / max(e_trad, 1):.0f}x the traditional work)")
+
+    # Distances still agree, of course.
+    assert np.array_equal(trad.dist, slim.dist)
+    depth = int(slim.dist[np.isfinite(slim.dist)].max())
+    print(f"\nall variants agree; BFS depth (eccentricity) = {depth}")
+    print("takeaway: pick the representation for the graph — SlimSell for "
+          "dense, low-diameter power-law graphs; work-efficient traversal "
+          "for long thin ones.")
+
+
+if __name__ == "__main__":
+    main()

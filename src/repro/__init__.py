@@ -1,0 +1,101 @@
+"""repro — a full Python reproduction of *SlimSell: A Vectorizable Graph
+Representation for Breadth-First Search* (Besta, Marending, Solomonik,
+Hoefler; IEEE IPDPS 2017).
+
+Quickstart
+----------
+>>> from repro import kronecker, bfs_spmv
+>>> g = kronecker(scale=10, edgefactor=8, seed=1)
+>>> res = bfs_spmv(g, root=0, semiring="sel-max", C=16, slimwork=True)
+>>> res.reached, res.n_iterations  # doctest: +SKIP
+(1018, 7)
+
+Layout
+------
+``repro.vec``       simulated C-lane vector ISA + the paper's 7 machines
+``repro.graphs``    Graph core, Kronecker/ER generators, Table IV proxies
+``repro.formats``   CSR, AL, Sell-C-σ, SlimSell + storage accounting
+``repro.semirings`` tropical / real / boolean / sel-max BFS algebra
+``repro.bfs``       BFS-SpMV engines (SlimWork, SlimChunk), baselines, DP
+``repro.sched``     omp-static/dynamic scheduling simulation
+``repro.perf``      cost model + timing/amortization harness
+``repro.analysis``  Table II work bounds, Eq. (1)/(2)
+"""
+
+from repro.apps import (
+    Reachability,
+    betweenness_centrality,
+    components_via_bfs,
+    pagerank,
+    sssp_dijkstra,
+    sssp_spmv,
+)
+from repro.bfs import (
+    BFSResult,
+    BFSSpMV,
+    SlimSpMV,
+    bfs_direction_optimizing,
+    bfs_hybrid,
+    bfs_serial,
+    bfs_spmspv,
+    bfs_spmv,
+    bfs_top_down,
+    dp_transform,
+)
+from repro.formats import (
+    AdjacencyList,
+    CSRMatrix,
+    Ellpack,
+    SellCSigma,
+    SlimSell,
+    storage_report,
+)
+from repro.graphs import (
+    Graph,
+    erdos_renyi,
+    erdos_renyi_nm,
+    kronecker,
+    realworld_proxy,
+)
+from repro.semirings import SEMIRINGS, get_semiring
+from repro.vec import MACHINES, Machine, OpCounters, VectorUnit, get_machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "kronecker",
+    "erdos_renyi",
+    "erdos_renyi_nm",
+    "realworld_proxy",
+    "SellCSigma",
+    "SlimSell",
+    "CSRMatrix",
+    "AdjacencyList",
+    "Ellpack",
+    "storage_report",
+    "BFSSpMV",
+    "bfs_spmv",
+    "bfs_spmspv",
+    "SlimSpMV",
+    "bfs_top_down",
+    "bfs_serial",
+    "bfs_direction_optimizing",
+    "dp_transform",
+    "BFSResult",
+    "betweenness_centrality",
+    "pagerank",
+    "components_via_bfs",
+    "Reachability",
+    "sssp_spmv",
+    "sssp_dijkstra",
+    "bfs_hybrid",
+    "SEMIRINGS",
+    "get_semiring",
+    "VectorUnit",
+    "OpCounters",
+    "Machine",
+    "MACHINES",
+    "get_machine",
+    "__version__",
+]

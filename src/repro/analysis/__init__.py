@@ -1,0 +1,30 @@
+"""Theoretical work/storage complexity (§III-A "Work Complexity", Table II).
+
+Closed-form work bounds for BFS schemes, the Sell-C-σ padded-storage bound
+m + ρ̂·C, and the high-probability maximum-degree bounds behind Eq. (1)
+(Erdős–Rényi) and Eq. (2) (power-law).
+"""
+
+from repro.analysis.complexity import (
+    TABLE_II,
+    WorkBound,
+    er_max_degree_bound,
+    powerlaw_max_degree_bound,
+    sell_storage_upper_bound,
+    work_bound_er,
+    work_bound_general,
+    work_bound_powerlaw,
+    work_table,
+)
+
+__all__ = [
+    "TABLE_II",
+    "WorkBound",
+    "work_bound_general",
+    "work_bound_er",
+    "work_bound_powerlaw",
+    "er_max_degree_bound",
+    "powerlaw_max_degree_bound",
+    "sell_storage_upper_bound",
+    "work_table",
+]

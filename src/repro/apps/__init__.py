@@ -1,0 +1,27 @@
+"""Applications built on the SlimSell algebraic primitives.
+
+The paper's §VI argues SlimSell extends past BFS; this package delivers the
+two algorithms it names:
+
+* :mod:`repro.apps.betweenness` — Brandes betweenness centrality with
+  algebraic forward/backward sweeps (path counting over the real semiring).
+* :mod:`repro.apps.pagerank` — PageRank as repeated SlimSell SpMV products
+  ("identical communication patterns in each superstep").
+
+plus :mod:`repro.apps.connectivity` — BFS-powered connected components and
+reachability over one shared representation.
+"""
+
+from repro.apps.betweenness import betweenness_centrality
+from repro.apps.connectivity import Reachability, components_via_bfs
+from repro.apps.pagerank import pagerank
+from repro.apps.sssp import sssp_dijkstra, sssp_spmv
+
+__all__ = [
+    "betweenness_centrality",
+    "pagerank",
+    "components_via_bfs",
+    "Reachability",
+    "sssp_spmv",
+    "sssp_dijkstra",
+]

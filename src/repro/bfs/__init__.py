@@ -1,0 +1,46 @@
+"""BFS algorithms: algebraic (SpMV over semirings) and traditional baselines.
+
+The central entry points are:
+
+* :func:`~repro.bfs.spmv.bfs_spmv` / :class:`~repro.bfs.spmv.BFSSpMV` — the
+  paper's contribution: BFS as repeated SpMV products over Sell-C-σ or
+  SlimSell with a choice of semiring, optional SlimWork chunk skipping and
+  SlimChunk splitting, on either the instruction-counted chunk engine or the
+  fast layer engine.
+* :func:`~repro.bfs.traditional.bfs_top_down` — the Graph500-style
+  work-efficient queue BFS (the paper's ``Trad-BFS`` comparison target).
+* :func:`~repro.bfs.direction_opt.bfs_direction_optimizing` — Beamer-style
+  top-down/bottom-up switching (Fig 1's "direction opt." curve).
+* :func:`~repro.bfs.dp.dp_transform` — the d → p parent derivation (§II-C).
+"""
+
+from repro.bfs.direction_opt import bfs_direction_optimizing
+from repro.bfs.dp import dp_transform
+from repro.bfs.hybrid import bfs_hybrid
+from repro.bfs.operator import SlimSpMV
+from repro.bfs.result import BFSResult, IterationStats
+from repro.bfs.spmspv import bfs_spmspv
+from repro.bfs.spmv import BFSSpMV, bfs_spmv
+from repro.bfs.traditional import bfs_serial, bfs_top_down
+from repro.bfs.validate import (
+    check_distances_equal,
+    check_parents_valid,
+    reference_distances,
+)
+
+__all__ = [
+    "BFSResult",
+    "IterationStats",
+    "BFSSpMV",
+    "bfs_spmv",
+    "bfs_spmspv",
+    "bfs_hybrid",
+    "SlimSpMV",
+    "bfs_top_down",
+    "bfs_serial",
+    "bfs_direction_optimizing",
+    "dp_transform",
+    "reference_distances",
+    "check_distances_equal",
+    "check_parents_valid",
+]

@@ -1,0 +1,58 @@
+"""The DP transformation: distances → parents in O(m + n) work (§II-C).
+
+``p = DP(d)``: for every reached vertex v (other than the root), pick a
+neighbor w with d[w] = d[v] − 1; at least one exists by BFS construction.
+The paper uses DP for the tropical/real/boolean semirings, whose BFS
+produces only distances; sel-max avoids it (§III-A4), which is exactly the
+trade-off Figs 5a/6a expose.
+
+Fully vectorized: one gather of neighbor distances, one masked segment-max
+over CSR rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def dp_transform(graph: Graph, dist: np.ndarray) -> np.ndarray:
+    """Derive the parent vector from a distance vector.
+
+    Parameters
+    ----------
+    graph:
+        The traversed graph.
+    dist:
+        float64[n] hop distances (``inf`` = unreachable).
+
+    Returns
+    -------
+    int64[n] parents; the root (d=0) maps to itself, unreachable vertices
+    map to -1.  When several valid parents exist the highest id wins
+    (deterministic, matches the sel-max convention).
+    """
+    n = graph.n
+    dist = np.asarray(dist, dtype=np.float64)
+    if dist.shape != (n,):
+        raise ValueError(f"dist must have shape ({n},), got {dist.shape}")
+    parent = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return parent
+    roots = dist == 0
+    parent[roots] = np.flatnonzero(roots)
+    if graph.indices.size:
+        src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+        nbr = graph.indices.astype(np.int64)
+        ok = dist[nbr] == dist[src] - 1.0
+        cand = np.where(ok, nbr, np.int64(-1))
+        lengths = np.diff(graph.indptr)
+        nonempty = lengths > 0
+        best = np.full(n, -1, dtype=np.int64)
+        if nonempty.any():
+            starts = graph.indptr[:-1][nonempty]
+            best[nonempty] = np.maximum.reduceat(cand, starts)
+        settle = np.isfinite(dist) & ~roots
+        parent[settle] = best[settle]
+    return parent

@@ -1,0 +1,79 @@
+"""Generic SpMV operator over chunked representations.
+
+The paper's closing argument (§VI) is that SlimSell generalizes beyond BFS:
+any algorithm built on y = A ⊗ x products — betweenness centrality,
+PageRank, label propagation — can run on the slim layout.  ``SlimSpMV``
+packages the layer-engine sweep as a reusable matrix-free operator so the
+application layer (:mod:`repro.apps`) composes with any semiring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.sell import SellCSigma
+from repro.semirings.base import SemiringBFS, get_semiring
+
+
+class SlimSpMV:
+    """Matrix-free ``y = A ⊗ x`` over a Sell-C-σ/SlimSell layout.
+
+    Operates in *original* vertex-id space: inputs are permuted in, outputs
+    permuted back, so callers never see the σ-sorted order.
+
+    Parameters
+    ----------
+    rep:
+        A built :class:`SellCSigma` or :class:`SlimSell`.
+    semiring:
+        Semiring instance or name; ⊗ combines matrix entries with gathered
+        x values, ⊕ reduces along each row.
+    """
+
+    def __init__(self, rep: SellCSigma, semiring: SemiringBFS | str = "real"):
+        self.rep = rep
+        self.semiring = (get_semiring(semiring)
+                         if isinstance(semiring, str) else semiring)
+        self._col = rep.col.astype(np.int64)
+        self._val = rep.val_for(self.semiring)
+        self._lane_off = np.arange(rep.C, dtype=np.int64)
+        # Precompute the shrinking-prefix order of chunks by length.
+        order = np.argsort(-rep.cl, kind="stable")
+        self._sorted_chunks = order
+        self._sorted_cl = rep.cl[order]
+
+    @property
+    def n(self) -> int:
+        """Number of (real) vertices/rows."""
+        return self.rep.n
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """One product ``A ⊗ x`` (length-n in, length-n out)."""
+        rep, sr = self.rep, self.semiring
+        n, N, C = rep.n, rep.N, rep.C
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (n,):
+            raise ValueError(f"x must have shape ({n},), got {x.shape}")
+        # Into permuted space, padded with the ⊕ identity for virtual rows.
+        xp = np.full(N, sr.zero)
+        xp[rep.perm] = x
+        y = np.full(N, sr.zero)
+        y2d = y.reshape(rep.nc, C)
+        srt, scl = self._sorted_chunks, self._sorted_cl
+        max_l = int(scl[0]) if scl.size else 0
+        for j in range(max_l):
+            live_count = int(np.searchsorted(-scl, -j, side="left"))
+            live = srt[:live_count]
+            if live.size == 0:
+                break
+            idx = (rep.cs[live] + j * C)[:, None] + self._lane_off
+            contrib = sr.mul(self._val[idx], xp[self._col[idx]])
+            y2d[live] = sr.add(y2d[live], contrib)
+        return y[rep.perm]
+
+    def power_iterate(self, x0: np.ndarray, steps: int) -> np.ndarray:
+        """Repeated application: ``A^steps ⊗ x0`` (for diffusion-style uses)."""
+        x = np.asarray(x0, dtype=np.float64)
+        for _ in range(steps):
+            x = self(x)
+        return x

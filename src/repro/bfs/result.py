@@ -1,0 +1,115 @@
+"""Result containers shared by every BFS implementation.
+
+The paper's evaluation is *per-iteration* (Figs 1, 5d, 6c/e, 8, 9, 10), so
+results carry one :class:`IterationStats` per frontier expansion, including
+instruction counters when produced by the counting chunk engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.vec.counters import OpCounters
+
+
+@dataclass
+class IterationStats:
+    """Measurements of one BFS iteration (frontier expansion).
+
+    Attributes
+    ----------
+    k:
+        Iteration number (1-based; iteration k settles distance-k vertices).
+    newly:
+        Vertices settled this iteration (frontier size after expansion).
+    time_s:
+        Wall-clock seconds of this iteration.
+    chunks_processed / chunks_skipped:
+        SpMV engines: chunk counts (skipped = SlimWork).
+    work_lanes:
+        SpMV engines: Σ cl[i]·C over processed chunks — the padded work.
+    edges_examined:
+        Traditional engines: adjacency entries touched.
+    direction:
+        Traditional engines: ``"top-down"`` or ``"bottom-up"``.
+    counters:
+        Vector-ISA counters for this iteration (chunk engine with
+        ``counting=True``), else ``None``.
+    """
+
+    k: int
+    newly: int
+    time_s: float = 0.0
+    chunks_processed: int = 0
+    chunks_skipped: int = 0
+    work_lanes: int = 0
+    edges_examined: int = 0
+    direction: str = ""
+    counters: OpCounters | None = None
+
+
+@dataclass
+class BFSResult:
+    """Outcome of one BFS traversal.
+
+    Attributes
+    ----------
+    dist:
+        float64[n]; hop distance from the root, ``inf`` = unreachable.
+    parent:
+        int64[n] or None; parent in the BFS tree, root maps to itself,
+        -1 = unreachable / not computed.
+    root:
+        The traversal root (original vertex ids).
+    method / semiring / representation:
+        Provenance labels (e.g. ``"spmv-layer"``, ``"tropical"``,
+        ``"slimsell"``).
+    iterations:
+        Per-iteration statistics, in order.
+    preprocess_time_s:
+        Representation build time attributable to this run (0 when reused).
+    total_time_s:
+        Wall clock of the traversal (excluding preprocessing).
+    """
+
+    dist: np.ndarray
+    parent: np.ndarray | None
+    root: int
+    method: str
+    semiring: str = ""
+    representation: str = ""
+    iterations: list[IterationStats] = field(default_factory=list)
+    preprocess_time_s: float = 0.0
+    total_time_s: float = 0.0
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of frontier expansions executed."""
+        return len(self.iterations)
+
+    @property
+    def reached(self) -> int:
+        """Vertices reached (finite distance)."""
+        return int(np.isfinite(self.dist).sum())
+
+    @property
+    def eccentricity(self) -> int:
+        """Largest finite distance (the BFS depth)."""
+        fin = self.dist[np.isfinite(self.dist)]
+        return int(fin.max()) if fin.size else 0
+
+    def iteration_times(self) -> np.ndarray:
+        """Per-iteration wall-clock series (the y-axis of Figs 1/8/9/10)."""
+        return np.array([it.time_s for it in self.iterations])
+
+    def total_counters(self) -> OpCounters | None:
+        """Sum of per-iteration counters, if the run counted instructions."""
+        parts = [it.counters for it in self.iterations if it.counters is not None]
+        if not parts:
+            return None
+        out = OpCounters()
+        for p in parts:
+            out += p
+        return out

@@ -1,0 +1,76 @@
+"""SlimChunk: vertical chunk splitting for load balance (§III-D).
+
+With a large sorting scope (σ ≈ √n or more), the first chunks hold the
+highest-degree rows and cost far more than the rest, starving all but a few
+compute units.  SlimChunk splits each chunk *vertically* into work units of
+at most ``split`` column-layers; partial results combine through the
+semiring's ⊕ (associative, so unit order is free), and the scheduler can
+spread a heavy chunk across many units.
+
+The paper enables SlimChunk only on GPUs ("the only architecture that
+entailed load imbalance"); here it parameterizes both the engines' work
+decomposition and the scheduling simulator that models Fig 6d/6e.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """A slice of one chunk: column layers ``[j0, j1)`` of chunk ``chunk``."""
+
+    chunk: int
+    j0: int
+    j1: int
+
+    @property
+    def layers(self) -> int:
+        """Number of column layers this unit covers."""
+        return self.j1 - self.j0
+
+
+def make_work_units(cl: np.ndarray, split: int | None,
+                    active: np.ndarray | None = None) -> list[WorkUnit]:
+    """Decompose chunks into work units.
+
+    Parameters
+    ----------
+    cl:
+        Chunk lengths (column layers per chunk).
+    split:
+        Maximum layers per unit; ``None`` disables SlimChunk (one unit per
+        non-empty chunk).
+    active:
+        Optional bool mask of chunks to include (SlimWork's survivors).
+
+    Returns
+    -------
+    Work units in chunk order (unit order within a chunk is ascending j).
+    """
+    units: list[WorkUnit] = []
+    ids = np.flatnonzero(active) if active is not None else np.arange(cl.size)
+    for i in ids:
+        length = int(cl[i])
+        if length == 0:
+            continue
+        if split is None or split >= length:
+            units.append(WorkUnit(int(i), 0, length))
+        else:
+            for j0 in range(0, length, split):
+                units.append(WorkUnit(int(i), j0, min(j0 + split, length)))
+    return units
+
+
+def unit_costs(units: list[WorkUnit], C: int, per_unit_overhead: float = 1.0) -> np.ndarray:
+    """Cost of each unit in vector instructions (≈ layers + fixed overhead).
+
+    Every column layer of a chunk costs a handful of vector instructions
+    independent of the semiring; the constant factor cancels in load-balance
+    ratios, so layers are the natural unit.  ``per_unit_overhead`` models
+    the carry-load/combine cost each extra unit pays.
+    """
+    return np.array([u.layers + per_unit_overhead for u in units], dtype=np.float64)

@@ -1,0 +1,85 @@
+"""Cross-validation of BFS outputs.
+
+Every BFS variant in this repository — four semirings × two representations
+× two engines × SlimWork on/off, plus the three traditional baselines —
+must agree on distances and produce a *valid* BFS tree (parents need not be
+identical across variants: any neighbor one hop closer is a legal parent).
+These helpers implement the two checks; the test suite and the examples use
+them, and benchmarks call them in their verification preambles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.result import BFSResult
+from repro.graphs.graph import Graph
+
+
+def reference_distances(graph: Graph, root: int) -> np.ndarray:
+    """Oracle distances via SciPy's BFS on the CSR matrix (``inf`` unreached)."""
+    from scipy.sparse.csgraph import breadth_first_order
+
+    n = graph.n
+    dist = np.full(n, np.inf)
+    dist[root] = 0.0
+    if graph.indices.size == 0:
+        return dist
+    order, pred = breadth_first_order(graph.to_scipy(), root, directed=False,
+                                      return_predecessors=True)
+    # Walk the predecessor tree in visit order: each vertex is one hop
+    # beyond its predecessor (visit order guarantees pred is final).
+    for v in order:
+        p = pred[v]
+        if p >= 0:
+            dist[v] = dist[p] + 1.0
+    return dist
+
+
+def check_distances_equal(result: BFSResult, expected: np.ndarray,
+                          label: str = "") -> None:
+    """Assert a result's distances match the expected vector exactly."""
+    got = result.dist
+    if got.shape != expected.shape:
+        raise AssertionError(
+            f"{label or result.method}: distance shape {got.shape} != {expected.shape}")
+    same = (got == expected) | (np.isinf(got) & np.isinf(expected))
+    if not same.all():
+        bad = np.flatnonzero(~same)[:10]
+        raise AssertionError(
+            f"{label or result.method}: {np.count_nonzero(~same)} distance "
+            f"mismatches, first at vertices {bad.tolist()} "
+            f"(got {got[bad].tolist()}, want {expected[bad].tolist()})")
+
+
+def check_parents_valid(graph: Graph, result: BFSResult) -> None:
+    """Assert the parent vector encodes a valid BFS tree for its distances.
+
+    Checks: root parents itself; every other reached vertex has a parent
+    that is a true neighbor exactly one hop closer; unreached vertices have
+    parent -1.
+    """
+    if result.parent is None:
+        raise AssertionError(f"{result.method}: no parent vector to validate")
+    dist, parent, root = result.dist, result.parent, result.root
+    if parent[root] != root:
+        raise AssertionError(f"{result.method}: root parent is {parent[root]}, not itself")
+    reached = np.isfinite(dist)
+    others = reached.copy()
+    others[root] = False
+    idx = np.flatnonzero(others)
+    p = parent[idx]
+    if (p < 0).any():
+        bad = idx[p < 0][:10]
+        raise AssertionError(f"{result.method}: reached vertices {bad.tolist()} have no parent")
+    if not (dist[p] == dist[idx] - 1.0).all():
+        bad = idx[dist[p] != dist[idx] - 1.0][:10]
+        raise AssertionError(
+            f"{result.method}: parents of {bad.tolist()} are not one hop closer")
+    # Edge existence (vectorized membership test on sorted neighbor lists).
+    for v, w in zip(idx.tolist(), p.tolist()):
+        if not graph.has_edge(v, w):
+            raise AssertionError(f"{result.method}: parent edge ({v}, {w}) does not exist")
+    unreached = np.flatnonzero(~reached)
+    if (parent[unreached] != -1).any():
+        raise AssertionError(f"{result.method}: unreached vertices have parents")

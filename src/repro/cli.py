@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``generate``  write a synthetic graph (kronecker / er / a Table IV proxy)
+``bfs``       run any BFS variant on a graph file and report statistics
+``storage``   print the Table III storage comparison for a graph
+``machines``  list the seven modeled evaluation systems
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load_graph(spec: str):
+    """Parse a graph spec: a file path, or ``kronecker:scale,ef`` /
+    ``er:n,m`` / ``proxy:id[,downscale]`` generator shorthand."""
+    from repro.graphs.erdos_renyi import erdos_renyi_nm
+    from repro.graphs.io import load_edgelist, load_npz
+    from repro.graphs.kronecker import kronecker
+    from repro.graphs.realworld import realworld_proxy
+
+    if ":" in spec:
+        kind, _, args = spec.partition(":")
+        parts = args.split(",")
+        if kind == "kronecker":
+            return kronecker(int(parts[0]), float(parts[1]),
+                             seed=int(parts[2]) if len(parts) > 2 else 0)
+        if kind == "er":
+            return erdos_renyi_nm(int(parts[0]), int(parts[1]),
+                                  seed=int(parts[2]) if len(parts) > 2 else 0)
+        if kind == "proxy":
+            ds = int(parts[1]) if len(parts) > 1 else 128
+            return realworld_proxy(parts[0], downscale=ds)
+        raise SystemExit(f"unknown generator {kind!r}")
+    if spec.endswith(".npz"):
+        return load_npz(spec)
+    return load_edgelist(spec)
+
+
+def _cmd_generate(args) -> int:
+    from repro.graphs.io import save_edgelist, save_npz
+
+    g = _load_graph(args.spec)
+    if args.output.endswith(".npz"):
+        save_npz(g, args.output)
+    else:
+        save_edgelist(g, args.output)
+    print(f"wrote {args.output}: n={g.n} m={g.m} "
+          f"avg_degree={g.avg_degree:.2f} max_degree={g.max_degree}")
+    return 0
+
+
+def _cmd_bfs(args) -> int:
+    from repro.bfs.direction_opt import bfs_direction_optimizing
+    from repro.bfs.spmspv import bfs_spmspv
+    from repro.bfs.spmv import bfs_spmv
+    from repro.bfs.traditional import bfs_top_down
+
+    g = _load_graph(args.graph)
+    root = args.root if args.root >= 0 else int(np.argmax(g.degrees))
+    if args.algorithm == "spmv":
+        res = bfs_spmv(g, root, args.semiring, C=args.chunk,
+                       sigma=args.sigma, slim=not args.sell,
+                       slimwork=args.slimwork, engine=args.engine)
+    elif args.algorithm == "spmspv":
+        res = bfs_spmspv(g, root, args.semiring)
+    elif args.algorithm == "traditional":
+        res = bfs_top_down(g, root)
+    else:
+        res = bfs_direction_optimizing(g, root)
+    print(f"method={res.method} semiring={res.semiring or '-'} root={root}")
+    print(f"reached {res.reached}/{g.n} vertices, depth {res.eccentricity}, "
+          f"{res.n_iterations} iterations, {res.total_time_s * 1e3:.2f} ms")
+    if args.verbose:
+        for it in res.iterations:
+            print(f"  iter {it.k}: newly={it.newly} "
+                  f"chunks={it.chunks_processed}/{it.chunks_skipped} "
+                  f"edges={it.edges_examined} t={it.time_s * 1e3:.3f} ms")
+    return 0
+
+
+def _cmd_storage(args) -> int:
+    from repro.formats.ellpack import Ellpack
+    from repro.formats.storage import storage_report
+
+    g = _load_graph(args.graph)
+    sigma = args.sigma if args.sigma else g.n
+    rep = storage_report(g, args.chunk, sigma)
+    print(f"n={g.n} m={g.m} C={rep.C} sigma={rep.sigma} "
+          f"padding={rep.padding_slots} slots")
+    print(f"{'CSR':12s} {rep.csr_cells:12d} cells")
+    print(f"{'AL':12s} {rep.al_cells:12d} cells")
+    print(f"{'Sell-C-sigma':12s} {rep.sell_cells:12d} cells")
+    print(f"{'SlimSell':12s} {rep.slimsell_cells:12d} cells "
+          f"({rep.slim_vs_sell:.1%} of Sell-C-sigma)")
+    print(f"{'ELLPACK':12s} {Ellpack(g).storage_cells():12d} cells")
+    print(f"{'SlimELLPACK':12s} {Ellpack(g, slim=True).storage_cells():12d} cells")
+    return 0
+
+
+def _cmd_machines(_args) -> int:
+    from repro.vec.machine import MACHINES
+
+    for m in MACHINES.values():
+        print(f"{m.name:16s} {m.kind:9s} C={m.simd_width:<3d} "
+              f"{m.units:3d} units @ {m.ghz} GHz, {m.bandwidth_gbs} GB/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="SlimSell reproduction: vectorizable BFS toolbox")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate and save a graph")
+    g.add_argument("spec", help="kronecker:scale,ef | er:n,m | proxy:id")
+    g.add_argument("output", help="output path (.txt edge list or .npz)")
+    g.set_defaults(fn=_cmd_generate)
+
+    b = sub.add_parser("bfs", help="run a BFS variant")
+    b.add_argument("graph", help="graph file or generator spec")
+    b.add_argument("--algorithm", default="spmv",
+                   choices=["spmv", "spmspv", "traditional", "direction-opt"])
+    b.add_argument("--semiring", default="tropical",
+                   choices=["tropical", "real", "boolean", "sel-max"])
+    b.add_argument("--root", type=int, default=-1,
+                   help="root vertex (-1 = highest degree)")
+    b.add_argument("--chunk", "-C", type=int, default=8, help="chunk height C")
+    b.add_argument("--sigma", type=int, default=None, help="sorting scope")
+    b.add_argument("--sell", action="store_true",
+                   help="use Sell-C-sigma instead of SlimSell")
+    b.add_argument("--slimwork", action="store_true", help="enable SlimWork")
+    b.add_argument("--engine", default="layer", choices=["layer", "chunk"])
+    b.add_argument("--verbose", "-v", action="store_true")
+    b.set_defaults(fn=_cmd_bfs)
+
+    s = sub.add_parser("storage", help="Table III storage comparison")
+    s.add_argument("graph", help="graph file or generator spec")
+    s.add_argument("--chunk", "-C", type=int, default=8)
+    s.add_argument("--sigma", type=int, default=None)
+    s.set_defaults(fn=_cmd_storage)
+
+    m = sub.add_parser("machines", help="list modeled systems")
+    m.set_defaults(fn=_cmd_machines)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

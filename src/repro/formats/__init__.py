@@ -1,0 +1,37 @@
+"""Graph representations: CSR, adjacency list, Sell-C-σ, and SlimSell.
+
+The two SIMD-friendly representations (``SellCSigma``, ``SlimSell``) share a
+chunked builder (:mod:`repro.formats.sell`): the adjacency matrix is split
+into chunks of C rows, rows are sorted by degree inside σ-scoped windows,
+and each chunk is stored column-major so consecutive SIMD lanes process
+consecutive rows (§II-D2, Fig 2).  SlimSell (§III-B, Fig 4) drops the
+``val`` array entirely and derives values from −1 markers in ``col``.
+
+Storage accounting for Table III lives in :mod:`repro.formats.storage`.
+"""
+
+from repro.formats.adjacency_list import AdjacencyList
+from repro.formats.csr import CSRMatrix
+from repro.formats.ellpack import Ellpack
+from repro.formats.sell import PAD, SellCSigma
+from repro.formats.slimsell import SlimSell
+from repro.formats.weighted import WeightedSellCSigma, sssp_chunked
+from repro.formats.storage import (
+    StorageReport,
+    storage_report,
+    storage_table,
+)
+
+__all__ = [
+    "AdjacencyList",
+    "CSRMatrix",
+    "Ellpack",
+    "SellCSigma",
+    "SlimSell",
+    "WeightedSellCSigma",
+    "sssp_chunked",
+    "PAD",
+    "StorageReport",
+    "storage_report",
+    "storage_table",
+]

@@ -1,0 +1,47 @@
+"""Adjacency-list representation (§II-D3).
+
+AL is the representation traditional BFS uses: an array with the neighbor
+ids of each vertex (2m cells) plus an offset array (n cells), for a total of
+2m + n cells on an undirected, unweighted graph.  In this repository it is a
+thin named wrapper over the graph's CSR arrays — which *is* the adjacency
+list layout — existing so the storage analysis (Table III, Fig 7) and the
+traditional-BFS baselines have a first-class comparison target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+class AdjacencyList:
+    """The 2m + n cell adjacency-list layout of an undirected graph."""
+
+    name = "al"
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        #: Offsets of each vertex's neighbor block (n entries used; the
+        #: paper's accounting charges n cells, the final sentinel is free).
+        self.offsets = graph.indptr
+        #: Concatenated neighbor ids (2m entries).
+        self.neighbors = graph.indices
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.graph.n
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return self.graph.m
+
+    def neighbors_of(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` (zero-copy view)."""
+        return self.graph.neighbors(v)
+
+    def storage_cells(self) -> int:
+        """Table III: 2m + n cells."""
+        return int(self.neighbors.size) + self.n

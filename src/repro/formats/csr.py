@@ -1,0 +1,83 @@
+"""Compressed Sparse Row representation and the textbook MV product (§II-D1).
+
+CSR stores the symmetric adjacency matrix with three arrays — ``val``,
+``col``, ``row`` — for a total of 4m + n cells on an undirected graph
+(Table III).  The SpMV here is the reference the Sell-C-σ/SlimSell kernels
+are validated against; it mirrors Listing 3 semantics (row-major reduction
+over a semiring) in fully vectorized NumPy via segment reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.semirings.base import SemiringBFS
+
+
+def segment_reduce(ufunc: np.ufunc, data: np.ndarray, indptr: np.ndarray,
+                   empty_value: float) -> np.ndarray:
+    """Reduce ``data`` per CSR row with ``ufunc``; empty rows get ``empty_value``.
+
+    ``np.ufunc.reduceat`` returns ``data[i]`` (not the identity) for empty
+    segments and cannot take an index equal to ``len(data)``, so both cases
+    are patched up explicitly.
+    """
+    n = indptr.size - 1
+    out = np.full(n, empty_value, dtype=np.float64)
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    if data.size == 0 or not nonempty.any():
+        return out
+    starts = indptr[:-1][nonempty]
+    out[nonempty] = ufunc.reduceat(data.astype(np.float64), starts)
+    return out
+
+
+class CSRMatrix:
+    """CSR view of a graph's adjacency matrix, usable with any BFS semiring.
+
+    Parameters
+    ----------
+    graph:
+        The undirected :class:`~repro.graphs.graph.Graph`; its CSR arrays are
+        shared (views), only ``val`` is materialized per semiring.
+    """
+
+    name = "csr"
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.row = graph.indptr
+        self.col = graph.indices
+
+    @property
+    def n(self) -> int:
+        """Number of matrix rows (= vertices)."""
+        return self.graph.n
+
+    @property
+    def nnz(self) -> int:
+        """Stored nonzeros (2m for an undirected graph)."""
+        return self.col.size
+
+    def val_for(self, semiring: SemiringBFS) -> np.ndarray:
+        """The ``val`` array under a semiring (every entry is an edge)."""
+        return np.full(self.nnz, semiring.edge_value, dtype=np.float64)
+
+    def storage_cells(self) -> int:
+        """Table III: 4m + n cells (val 2m, col 2m, row n)."""
+        return 2 * self.nnz + self.n
+
+    def spmv(self, semiring: SemiringBFS, x: np.ndarray) -> np.ndarray:
+        """One MV product ``A ⊗ x`` over ``semiring`` (reference kernel).
+
+        Off-diagonal structural zeros contribute the semiring zero, so the
+        result of an empty row is ``semiring.zero``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] < self.n:
+            raise ValueError("x is shorter than the number of rows")
+        contrib = semiring.mul(np.full(self.nnz, semiring.edge_value), x[self.col])
+        return segment_reduce(semiring.add, np.asarray(contrib, dtype=np.float64),
+                              self.row, semiring.zero)

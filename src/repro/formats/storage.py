@@ -1,0 +1,101 @@
+"""Storage accounting (Table III, inequality (3), Figure 7).
+
+A *cell* is one 32-bit word, the paper's unit.  For every representation we
+report both the closed-form Table III formula and the measured cell count of
+the concrete arrays; the test suite asserts they agree exactly.
+
+Table III:
+
+=============  =========================
+Sell-C-σ       4m + 2n/C + P  (P = padding in val *and* col)
+CSR            4m + n
+AL             2m + n
+SlimSell       2m + 2n/C + P  (P = padding in col only)
+=============  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.adjacency_list import AdjacencyList
+from repro.formats.csr import CSRMatrix
+from repro.formats.sell import SellCSigma
+from repro.formats.slimsell import SlimSell
+from repro.graphs.graph import Graph
+
+BYTES_PER_CELL = 4
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Cell counts of all four representations for one graph/(C, σ) setting."""
+
+    n: int
+    m: int
+    C: int
+    sigma: int
+    padding_slots: int
+    csr_cells: int
+    al_cells: int
+    sell_cells: int
+    slimsell_cells: int
+
+    @property
+    def slim_vs_sell(self) -> float:
+        """SlimSell size as a fraction of Sell-C-σ (→ 0.5 for small P)."""
+        return self.slimsell_cells / self.sell_cells
+
+    @property
+    def slim_vs_al(self) -> float:
+        """SlimSell size as a fraction of AL (< 1 when ineq. (3) holds)."""
+        return self.slimsell_cells / self.al_cells
+
+    @property
+    def slim_beats_al(self) -> bool:
+        """Inequality (3): P < n(1 - 2/C) ⇔ SlimSell smaller than AL."""
+        return self.padding_slots < self.n * (1 - 2 / self.C)
+
+    def gib(self, which: str) -> float:
+        """Size of one representation in GiB (Fig 7a/7c unit)."""
+        cells = getattr(self, f"{which}_cells")
+        return cells * BYTES_PER_CELL / 2**30
+
+
+def formula_cells(n: int, m: int, C: int, padding_slots: int) -> dict[str, int]:
+    """Closed-form Table III cell counts given the measured padding."""
+    nc2 = 2 * ((n + C - 1) // C)  # the paper's 2n/C (cs + cl arrays)
+    return {
+        "csr": 4 * m + n,
+        "al": 2 * m + n,
+        "sell": 4 * m + nc2 + 2 * padding_slots,
+        "slimsell": 2 * m + nc2 + padding_slots,
+    }
+
+
+def storage_report(graph: Graph, C: int, sigma: int | None = None,
+                   sell: SellCSigma | None = None) -> StorageReport:
+    """Measure all four representations on ``graph`` at a given (C, σ).
+
+    An existing :class:`SellCSigma` can be passed to reuse its layout (the σ
+    sort dominates construction cost for large graphs).
+    """
+    if sell is None:
+        sell = SellCSigma(graph, C, sigma)
+    slim = SlimSell.from_sell(sell)
+    return StorageReport(
+        n=graph.n,
+        m=graph.m,
+        C=sell.C,
+        sigma=sell.sigma,
+        padding_slots=sell.padding_slots,
+        csr_cells=CSRMatrix(graph).storage_cells(),
+        al_cells=AdjacencyList(graph).storage_cells(),
+        sell_cells=sell.storage_cells(),
+        slimsell_cells=slim.storage_cells(),
+    )
+
+
+def storage_table(graph: Graph, C: int, sigmas: list[int]) -> list[StorageReport]:
+    """Storage reports across a σ sweep (one Fig 7 panel row)."""
+    return [storage_report(graph, C, s) for s in sigmas]

@@ -1,0 +1,37 @@
+"""Graph substrate: core structure, generators, and utilities.
+
+Provides the undirected CSR-backed :class:`~repro.graphs.graph.Graph`, the
+two synthetic families the paper evaluates (Graph500-style Kronecker
+power-law graphs and Erdős–Rényi uniform graphs), synthetic proxies for the
+paper's Table IV real-world corpus, and BFS-level utilities (pseudo-diameter,
+connected components, degree statistics).
+"""
+
+from repro.graphs.erdos_renyi import erdos_renyi, erdos_renyi_nm
+from repro.graphs.graph import Graph
+from repro.graphs.kronecker import kronecker
+from repro.graphs.realworld import (
+    REALWORLD_REGISTRY,
+    RealWorldSpec,
+    realworld_proxy,
+)
+from repro.graphs.utils import (
+    connected_components,
+    degree_stats,
+    largest_component,
+    pseudo_diameter,
+)
+
+__all__ = [
+    "Graph",
+    "kronecker",
+    "erdos_renyi",
+    "erdos_renyi_nm",
+    "REALWORLD_REGISTRY",
+    "RealWorldSpec",
+    "realworld_proxy",
+    "pseudo_diameter",
+    "connected_components",
+    "largest_component",
+    "degree_stats",
+]

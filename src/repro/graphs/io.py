@@ -1,0 +1,61 @@
+"""Graph I/O: edge-list text files and a compact binary CSR container.
+
+Covers the two interchange needs of a BFS benchmark suite: SNAP-style text
+edge lists (one ``u v`` pair per line, ``#`` comments — the format the
+paper's Table IV graphs ship in) and a zero-parse binary `.npz` container
+for fast reload of preprocessed graphs.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def save_edgelist(graph: Graph, path: str | Path, header: bool = True) -> None:
+    """Write a SNAP-style text edge list (canonical u < v rows)."""
+    path = Path(path)
+    e = graph.edges()
+    with path.open("w") as fh:
+        if header:
+            fh.write(f"# Undirected graph: n={graph.n} m={graph.m}\n")
+            fh.write("# FromNodeId\tToNodeId\n")
+        np.savetxt(fh, e, fmt="%d", delimiter="\t")
+
+
+def load_edgelist(path: str | Path, n: int | None = None) -> Graph:
+    """Read a SNAP-style edge list (``#`` comment lines ignored).
+
+    ``n`` defaults to ``max vertex id + 1``; pass it explicitly to keep
+    trailing isolated vertices.
+    """
+    path = Path(path)
+    with warnings.catch_warnings():
+        # An edge-less file is a valid (empty) graph, not a user error.
+        warnings.filterwarnings("ignore", message=".*no data.*")
+        e = np.loadtxt(path, comments="#", dtype=np.int64, ndmin=2)
+    if e.size == 0:
+        return Graph.empty(n if n is not None else 0)
+    if e.shape[1] != 2:
+        raise ValueError(f"{path}: expected two columns, got {e.shape[1]}")
+    inferred = int(e.max()) + 1
+    if n is None:
+        n = inferred
+    elif n < inferred:
+        raise ValueError(f"{path}: n={n} smaller than max vertex id {inferred - 1}")
+    return Graph.from_edges(n, e)
+
+
+def save_npz(graph: Graph, path: str | Path) -> None:
+    """Write the CSR arrays to a compressed ``.npz`` container."""
+    np.savez_compressed(Path(path), indptr=graph.indptr, indices=graph.indices)
+
+
+def load_npz(path: str | Path) -> Graph:
+    """Load a graph written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        return Graph(data["indptr"], data["indices"])

@@ -1,0 +1,32 @@
+"""Performance modeling and measurement harness.
+
+:mod:`repro.perf.costmodel` converts counted work (vector instructions,
+memory words, scalar edge examinations) into modeled times on any of the
+paper's seven machine descriptors — the substitute for running on the real
+testbed.  :mod:`repro.perf.harness` wraps BFS runs with wall-clock and
+modeled per-iteration timing and handles preprocessing amortization (§IV-D).
+"""
+
+from repro.perf.costmodel import (
+    ModeledTime,
+    model_bfs_result,
+    model_scalar_iteration,
+    model_traditional_result,
+    model_vector_iteration,
+)
+from repro.perf.harness import (
+    AmortizationReport,
+    amortization_report,
+    time_bfs,
+)
+
+__all__ = [
+    "ModeledTime",
+    "model_vector_iteration",
+    "model_scalar_iteration",
+    "model_bfs_result",
+    "model_traditional_result",
+    "time_bfs",
+    "AmortizationReport",
+    "amortization_report",
+]

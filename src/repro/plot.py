@@ -1,0 +1,100 @@
+"""Terminal plotting: ASCII line/bar charts for per-iteration series.
+
+The paper's evaluation is all line charts (time vs iteration, time vs
+log σ).  This renderer draws those shapes directly in the terminal so
+examples and bench output remain self-contained — no matplotlib required
+(none is installed in the offline environment).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_bars"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(series: dict[str, list[float]], width: int = 64,
+               height: int = 16, title: str = "", logy: bool = False,
+               xlabel: str = "") -> str:
+    """Render named series as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label → y values (x is the 1-based index).
+    width / height:
+        Canvas size in characters.
+    title / xlabel:
+        Optional decorations.
+    logy:
+        Log-scale the y axis (values must be positive).
+    """
+    pts = {k: np.asarray(v, dtype=float) for k, v in series.items() if len(v)}
+    if not pts:
+        return "(empty plot)"
+    ys = np.concatenate(list(pts.values()))
+    ys = ys[np.isfinite(ys)]
+    if ys.size == 0:
+        return "(no finite data)"
+    if logy:
+        if (ys <= 0).any():
+            raise ValueError("logy requires positive values")
+        lo, hi = math.log10(ys.min()), math.log10(ys.max())
+    else:
+        lo, hi = float(ys.min()), float(ys.max())
+    if hi == lo:
+        hi = lo + 1.0
+    xmax = max(len(v) for v in pts.values())
+    grid = [[" "] * width for _ in range(height)]
+
+    def ycoord(v: float) -> int | None:
+        if not np.isfinite(v):
+            return None
+        vv = math.log10(v) if logy else v
+        frac = (vv - lo) / (hi - lo)
+        return height - 1 - int(round(frac * (height - 1)))
+
+    for si, (label, v) in enumerate(pts.items()):
+        mark = _MARKERS[si % len(_MARKERS)]
+        for i, y in enumerate(v):
+            r = ycoord(float(y))
+            if r is None:
+                continue
+            c = int(round(i * (width - 1) / max(xmax - 1, 1)))
+            grid[r][c] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    fmt = (lambda x: f"1e{x:.1f}") if logy else (lambda x: f"{x:.3g}")
+    for r, row in enumerate(grid):
+        tick = ""
+        if r == 0:
+            tick = fmt(hi)
+        elif r == height - 1:
+            tick = fmt(lo)
+        lines.append(f"{tick:>9s} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    if xlabel:
+        lines.append(" " * 12 + xlabel)
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {k}"
+                        for i, k in enumerate(pts))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(values: dict[str, float], width: int = 50,
+               title: str = "") -> str:
+    """Render a labeled horizontal bar chart."""
+    if not values:
+        return "(empty chart)"
+    vmax = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for k, v in values.items():
+        bar = "#" * (int(round(width * v / vmax)) if vmax > 0 else 0)
+        lines.append(f"{k:>{label_w}s} | {bar} {v:.4g}")
+    return "\n".join(lines)

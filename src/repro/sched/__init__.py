@@ -1,0 +1,16 @@
+"""Thread-scheduling simulation (the paper's omp-s / omp-d settings).
+
+The load-imbalance effects in Figs 5a/5b (static vs dynamic OpenMP
+scheduling at large σ) and Fig 6d/6e (SlimChunk on GPUs) are scheduling
+effects of the chunk-cost distribution; this package simulates the
+assignment of work units to threads and reports makespans and imbalance.
+"""
+
+from repro.sched.scheduling import (
+    Schedule,
+    imbalance,
+    schedule_dynamic,
+    schedule_static,
+)
+
+__all__ = ["Schedule", "schedule_static", "schedule_dynamic", "imbalance"]

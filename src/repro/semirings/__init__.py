@@ -1,0 +1,37 @@
+"""BFS semirings (§III-A): tropical, real, boolean, and sel-max.
+
+Each semiring object bundles (1) the algebra — the ⊕/⊗ ufuncs, identities,
+and the values taken by edge and padding entries of the transformed
+adjacency matrix — and (2) the BFS semantics: state initialization, the
+per-iteration post-processing that derives the frontier f_k from x_k
+(Listing 5 lines 22–45), the SlimWork skip criterion (Listing 7), and
+finalization into distances/parents.
+
+Two equivalent forms of the post-processing exist: a whole-array NumPy form
+(used by the layer engine) and a per-chunk form written against the
+simulated vector ISA (used by the chunk engine, instruction-counted).
+"""
+
+from repro.semirings.base import BFSState, SemiringBFS, get_semiring
+from repro.semirings.boolean import BooleanSemiring
+from repro.semirings.real import RealSemiring
+from repro.semirings.selmax import SelMaxSemiring
+from repro.semirings.tropical import TropicalSemiring
+
+SEMIRINGS = {
+    "tropical": TropicalSemiring,
+    "real": RealSemiring,
+    "boolean": BooleanSemiring,
+    "sel-max": SelMaxSemiring,
+}
+
+__all__ = [
+    "SemiringBFS",
+    "BFSState",
+    "get_semiring",
+    "SEMIRINGS",
+    "TropicalSemiring",
+    "RealSemiring",
+    "BooleanSemiring",
+    "SelMaxSemiring",
+]

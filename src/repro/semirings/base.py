@@ -1,0 +1,163 @@
+"""Semiring base class and BFS state shared by all algebraic BFS variants.
+
+A semiring S = (X, op1, op2, el1, el2) gives the MV product
+``x_k[v] = ⊕_w (A'[v, w] ⊗ f[w])`` (§III-A).  For BFS the matrix entries
+take only two values: ``edge_value`` on edges and ``pad_value`` on padding /
+structural zeros, where ``pad_value ⊗ anything`` must be absorbed by ⊕ —
+that is exactly what lets SlimSell reconstruct ``val`` from a −1 marker in
+``col`` with one CMP + one BLEND (Listing 6).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.vec.ops import VectorUnit
+
+
+@dataclass
+class BFSState:
+    """Mutable per-traversal state, in the representation's (permuted) id space.
+
+    Arrays have length N = nc·C (padded to whole chunks); entries beyond n
+    are virtual rows with no edges, initialized so they never block SlimWork
+    skipping or convergence.
+
+    Attributes
+    ----------
+    f:
+        The carried/gathered vector (frontier for tropical/boolean/real,
+        the x vector for sel-max).  Double-buffered by the engines.
+    d:
+        Distances; ``inf`` = not yet reached, root = 0.
+    g:
+        Unvisited filter (boolean/real): 1 = not yet visited.
+    p:
+        1-based parent ids (sel-max): 0 = unassigned.
+    depth:
+        Current iteration number k (0 before the first expansion).
+    n / N:
+        Real and padded vertex counts.
+    """
+
+    f: np.ndarray
+    d: np.ndarray
+    n: int
+    N: int
+    root: int
+    g: np.ndarray | None = None
+    p: np.ndarray | None = None
+    depth: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+class SemiringBFS(ABC):
+    """Algebra + BFS semantics of one semiring.
+
+    Subclasses set the class attributes and implement state handling.
+
+    Attributes
+    ----------
+    name:
+        Identifier (``"tropical"``, ``"real"``, ``"boolean"``, ``"sel-max"``).
+    add / mul:
+        NumPy ufuncs for ⊕ (op1) and ⊗ (op2).  For the boolean semiring,
+        max/min on {0,1} floats are used as OR/AND — identical algebra,
+        reduceat-friendly.
+    zero:
+        Additive identity el1 (result of an empty reduction).
+    edge_value / pad_value:
+        Matrix entry on an edge / on padding.  ``pad_value`` is the ⊗
+        annihilator w.r.t. ⊕ accumulation.
+    needs_dp:
+        True when parents require the DP transformation (all but sel-max).
+    """
+
+    name: str = "abstract"
+    add: np.ufunc
+    mul: np.ufunc
+    zero: float
+    edge_value: float
+    pad_value: float
+    needs_dp: bool = True
+
+    # ------------------------------------------------------------------
+    # State lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def init_state(self, n: int, N: int, root: int) -> BFSState:
+        """Fresh state for a traversal from ``root`` (ids already permuted)."""
+
+    @abstractmethod
+    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int:
+        """Whole-array derivation of f_k (and d/g/p updates) from x_k.
+
+        ``x_raw`` is the MV result already combined with the carried vector
+        (the kernels initialize each chunk register from the carried chunk).
+        Returns the number of newly settled vertices; 0 means converged.
+        Must write the new carried vector into ``st.f`` (fresh array).
+        """
+
+    @abstractmethod
+    def chunk_post(self, vu: VectorUnit, st: BFSState, f_next: np.ndarray,
+                   addr: int, x: np.ndarray) -> int:
+        """Per-chunk post-processing on the vector ISA (Listing 5 l.22–45).
+
+        ``x`` is the chunk's accumulated register; ``addr`` the chunk's base
+        offset; ``f_next`` the output buffer for the carried vector.
+        Returns newly settled lanes in this chunk.
+        """
+
+    @abstractmethod
+    def kernel_step(self, vu: VectorUnit, x: np.ndarray, rhs: np.ndarray,
+                    vals: np.ndarray) -> np.ndarray:
+        """The inner-loop vector update (Listing 5 lines 12–19)."""
+
+    @abstractmethod
+    def settled_lanes(self, st: BFSState) -> np.ndarray:
+        """Bool[N]: lanes whose final output can no longer change.
+
+        SlimWork (§III-C, Listing 7) skips a chunk iff *all* its lanes are
+        settled.
+        """
+
+    @abstractmethod
+    def finalize_distances(self, st: BFSState) -> np.ndarray:
+        """Distances over the padded id space (inf = unreached)."""
+
+    def finalize_parents(self, st: BFSState) -> np.ndarray | None:
+        """Parents (0-based, -1 unassigned) if the semiring computes them."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Algebra helpers
+    # ------------------------------------------------------------------
+    def values_from_edge_mask(self, is_edge: np.ndarray) -> np.ndarray:
+        """Materialize matrix values from an edge/padding mask."""
+        return np.where(is_edge, self.edge_value, self.pad_value)
+
+    def mv_combine(self, acc: np.ndarray, contrib: np.ndarray,
+                   out: np.ndarray | None = None) -> np.ndarray:
+        """Accumulate ``contrib`` into ``acc`` with ⊕ (vectorized)."""
+        return self.add(acc, contrib, out=out if out is not None else acc)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def get_semiring(name: str) -> SemiringBFS:
+    """Instantiate a semiring by name (accepts ``selmax`` for ``sel-max``)."""
+    from repro.semirings import SEMIRINGS
+
+    key = name.lower().replace("_", "-")
+    if key == "selmax":
+        key = "sel-max"
+    try:
+        return SEMIRINGS[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown semiring {name!r}; available: {sorted(SEMIRINGS)}"
+        ) from None

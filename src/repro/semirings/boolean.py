@@ -1,0 +1,78 @@
+"""The boolean semiring B = ({0,1}, |, &, 0, 1) — §III-A3.
+
+The frontier is a 0/1 indicator; one MV product ORs together the frontier
+bits of each vertex's neighbors.  Already-visited vertices are masked out by
+the filter vector g (1 = unvisited), updated after every iteration
+(Listing 5 lines 25–35).  Distances accumulate as d = ∪ k·f_k; parents need
+the DP transformation.
+
+Implementation note: on {0,1} floats, OR ≡ max and AND ≡ min, so the
+whole-array path uses ``np.maximum``/``np.minimum`` (reduceat-friendly);
+the vector-ISA path issues the paper's actual OR/AND instructions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semirings.base import BFSState, SemiringBFS
+from repro.vec.ops import VectorUnit
+
+
+class BooleanSemiring(SemiringBFS):
+    """OR-AND BFS with an explicit unvisited filter g."""
+
+    name = "boolean"
+    add = np.maximum  # ≡ OR on {0,1}
+    mul = np.minimum  # ≡ AND on {0,1}
+    zero = 0.0
+    edge_value = 1.0
+    pad_value = 0.0
+    needs_dp = True
+
+    def init_state(self, n: int, N: int, root: int) -> BFSState:
+        f = np.zeros(N)
+        f[root] = 1.0
+        g = np.zeros(N)
+        g[:n] = 1.0  # virtual rows stay "visited" so they never block skipping
+        g[root] = 0.0
+        d = np.full(N, np.inf)
+        d[root] = 0.0
+        return BFSState(f=f, d=d, n=n, N=N, root=root, g=g)
+
+    # ------------------------------------------------------------------
+    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int:
+        mask = (x_raw != 0) & (st.g != 0)
+        st.d[mask] = st.depth
+        st.g[mask] = 0.0
+        st.f = mask.astype(np.float64)
+        return int(np.count_nonzero(mask))
+
+    def chunk_post(self, vu: VectorUnit, st: BFSState, f_next: np.ndarray,
+                   addr: int, x: np.ndarray) -> int:
+        # Listing 5 lines 25-35 (constants are hoisted registers, uncounted).
+        C = vu.C
+        zeros = np.zeros(C)
+        depth_vec = np.full(C, float(st.depth))
+        g = vu.load(st.g, addr)
+        xf = vu.cmp(vu.logical_and(x, g), zeros, "NEQ")  # filter the frontier
+        vu.store(f_next, addr, xf)
+        x_mask = xf
+        xd = vu.mul(x_mask.astype(np.float64), depth_vec)  # distances = depth
+        d_new = vu.blend(vu.load(st.d, addr), xd, x_mask)
+        vu.store(st.d, addr, d_new)
+        g_new = vu.logical_and(vu.logical_not(x_mask), g)  # update the filter
+        vu.store(st.g, addr, g_new)
+        return int(np.count_nonzero(x_mask))
+
+    def kernel_step(self, vu: VectorUnit, x: np.ndarray, rhs: np.ndarray,
+                    vals: np.ndarray) -> np.ndarray:
+        # x = OR(AND(rhs, vals), x)  -- Listing 5 line 16.
+        return vu.logical_or(vu.logical_and(rhs, vals), x).astype(np.float64)
+
+    def settled_lanes(self, st: BFSState) -> np.ndarray:
+        # Listing 7 lines 8-11: process the chunk while any filter entry != 0.
+        return st.g == 0
+
+    def finalize_distances(self, st: BFSState) -> np.ndarray:
+        return st.d.copy()

@@ -1,0 +1,83 @@
+"""The real semiring R = (R, +, ·, 0, 1) — §III-A2.
+
+The MV product counts BFS paths: x_k[v] = number of length-k walks from the
+root reaching v through frontier vertices.  The filter g (1 = unvisited)
+restricts the next frontier to newly reached vertices: f_k = x_k ⊙ ḡ_k.
+Distances accumulate as d = Σ k·⟦f_k ≠ 0⟧; parents need DP.
+
+Path counts grow like ρ̄^k, so the carried frontier is clipped at
+``PATH_COUNT_CLIP`` — clipping preserves non-zeroness (the only property
+BFS consumes) while keeping ``0 · huge`` away from ``0 · inf = nan`` on
+padding entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semirings.base import BFSState, SemiringBFS
+from repro.vec.ops import VectorUnit
+
+#: Upper bound on carried path counts; row sums then stay < 1e308 for any
+#: realistic row length, so no inf (hence no 0*inf) can appear.
+PATH_COUNT_CLIP = 1e100
+
+
+class RealSemiring(SemiringBFS):
+    """plus-times BFS (path counting) with an unvisited filter g."""
+
+    name = "real"
+    add = np.add
+    mul = np.multiply
+    zero = 0.0
+    edge_value = 1.0
+    pad_value = 0.0
+    needs_dp = True
+
+    def init_state(self, n: int, N: int, root: int) -> BFSState:
+        f = np.zeros(N)
+        f[root] = 1.0
+        g = np.zeros(N)
+        g[:n] = 1.0
+        g[root] = 0.0
+        d = np.full(N, np.inf)
+        d[root] = 0.0
+        return BFSState(f=f, d=d, n=n, N=N, root=root, g=g)
+
+    # ------------------------------------------------------------------
+    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int:
+        mask = (x_raw != 0) & (st.g != 0)
+        st.d[mask] = st.depth
+        st.g[mask] = 0.0
+        st.f = np.where(mask, np.minimum(x_raw, PATH_COUNT_CLIP), 0.0)
+        return int(np.count_nonzero(mask))
+
+    def chunk_post(self, vu: VectorUnit, st: BFSState, f_next: np.ndarray,
+                   addr: int, x: np.ndarray) -> int:
+        C = vu.C
+        zeros = np.zeros(C)
+        clip = np.full(C, PATH_COUNT_CLIP)
+        depth_vec = np.full(C, float(st.depth))
+        g = vu.load(st.g, addr)
+        nz = vu.cmp(x, zeros, "NEQ")
+        gm = vu.cmp(g, zeros, "NEQ")
+        msk = vu.logical_and(nz, gm)
+        f_vals = vu.blend(zeros, vu.min(x, clip), msk)
+        vu.store(f_next, addr, f_vals)
+        xd = vu.mul(msk.astype(np.float64), depth_vec)
+        d_new = vu.blend(vu.load(st.d, addr), xd, msk)
+        vu.store(st.d, addr, d_new)
+        g_new = vu.logical_and(vu.logical_not(msk), g)
+        vu.store(st.g, addr, g_new)
+        return int(np.count_nonzero(msk))
+
+    def kernel_step(self, vu: VectorUnit, x: np.ndarray, rhs: np.ndarray,
+                    vals: np.ndarray) -> np.ndarray:
+        # x = ADD(MUL(rhs, vals), x)  -- the real-semiring analog of line 16.
+        return vu.add(vu.mul(rhs, vals), x)
+
+    def settled_lanes(self, st: BFSState) -> np.ndarray:
+        return st.g == 0
+
+    def finalize_distances(self, st: BFSState) -> np.ndarray:
+        return st.d.copy()

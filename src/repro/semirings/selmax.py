@@ -1,0 +1,91 @@
+"""The sel-max semiring S = (R, max, ·, −∞, 1) — §III-A4.
+
+The only semiring that yields *parents* directly, with no DP transformation.
+The carried vector x holds 1-based vertex ids of visited vertices (0 =
+unvisited).  One MV product gives each vertex the maximum id among its
+visited neighbors — its parent candidate; unassigned vertices adopt it
+(p_k = p_{k-1} + p̄_{k-1} ⊙ x_k), and x is re-normalized so every visited
+vertex carries its own id (x_k = x̄̄_k ⊙ (1, 2, …, n)ᵀ).
+
+Practical note: with ids ≥ 0 the value 0 acts as the ⊕ identity on all
+reachable values, so padding uses 0 rather than the theoretical −∞ — this
+matches the paper's kernels, which MUL padding entries to 0 and MAX them
+away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semirings.base import BFSState, SemiringBFS
+from repro.vec.ops import VectorUnit
+
+
+class SelMaxSemiring(SemiringBFS):
+    """max-times BFS computing the parent vector directly."""
+
+    name = "sel-max"
+    add = np.maximum
+    mul = np.multiply
+    zero = 0.0  # practical identity for non-negative ids (theoretical: -inf)
+    edge_value = 1.0
+    pad_value = 0.0
+    needs_dp = False
+
+    def init_state(self, n: int, N: int, root: int) -> BFSState:
+        f = np.zeros(N)  # the carried vector is x itself
+        f[root] = float(root + 1)
+        p = np.zeros(N)
+        p[root] = float(root + 1)  # paper: p_0 = x_0 (root parents itself)
+        p[n:] = -1.0  # virtual rows never block SlimWork skipping
+        d = np.full(N, np.inf)
+        d[root] = 0.0
+        st = BFSState(f=f, d=d, n=n, N=N, root=root, p=p)
+        st.extras["ids1"] = np.arange(1, N + 1, dtype=np.float64)
+        return st
+
+    # ------------------------------------------------------------------
+    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int:
+        mask = (x_raw != 0) & (st.p == 0)
+        st.p[mask] = x_raw[mask]  # parent = max-id visited neighbor
+        st.d[mask] = st.depth
+        # x_k = nonzero-indicator ⊙ (1..n): each visited vertex carries its id.
+        st.f = np.where(x_raw != 0, st.extras["ids1"], 0.0)
+        return int(np.count_nonzero(mask))
+
+    def chunk_post(self, vu: VectorUnit, st: BFSState, f_next: np.ndarray,
+                   addr: int, x: np.ndarray) -> int:
+        # Listing 5 lines 37-44 + the §III-A4 parent assignment.
+        C = vu.C
+        zeros = np.zeros(C)
+        depth_vec = np.full(C, float(st.depth))
+        pars = vu.load(st.p, addr)
+        p_unset = vu.cmp(pars, zeros, "EQ")
+        x_nz = vu.cmp(x, zeros, "NEQ")
+        new_mask = vu.logical_and(p_unset, x_nz)
+        pars = vu.blend(pars, x, new_mask)
+        vu.store(st.p, addr, pars)
+        d_new = vu.blend(vu.load(st.d, addr), depth_vec, new_mask)
+        vu.store(st.d, addr, d_new)
+        ids = vu.load(st.extras["ids1"], addr)
+        x_norm = vu.blend(zeros, ids, x_nz)  # normalize x to own indices
+        vu.store(f_next, addr, x_norm)
+        return int(np.count_nonzero(new_mask))
+
+    def kernel_step(self, vu: VectorUnit, x: np.ndarray, rhs: np.ndarray,
+                    vals: np.ndarray) -> np.ndarray:
+        # x = MAX(MUL(rhs, vals), x)  -- Listing 5 line 18.
+        return vu.max(vu.mul(rhs, vals), x)
+
+    def settled_lanes(self, st: BFSState) -> np.ndarray:
+        # Listing 7 lines 12-14: process the chunk while any parent is 0.
+        return st.p != 0
+
+    def finalize_distances(self, st: BFSState) -> np.ndarray:
+        return st.d.copy()
+
+    def finalize_parents(self, st: BFSState) -> np.ndarray:
+        out = np.full(st.N, -1, dtype=np.int64)
+        assigned = st.p > 0
+        out[assigned] = st.p[assigned].astype(np.int64) - 1
+        return out

@@ -1,0 +1,59 @@
+"""The tropical semiring T = (R ∪ {∞}, min, +, ∞, 0) — §III-A1.
+
+A is transformed to A′ with ∞ on structural zeros and 1 (one hop) on edges.
+Starting from x_0 = ∞ everywhere except x_0^r = 0, each product
+``x_k = A′ ⊗_T f_{k-1}`` relaxes distances by one hop; after D iterations
+x_D *is* the distance vector, and parents follow from the DP transformation.
+The tropical variant has the cheapest post-processing of all semirings: a
+single store per chunk (Listing 5 line 24).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semirings.base import BFSState, SemiringBFS
+from repro.vec.ops import VectorUnit
+
+
+class TropicalSemiring(SemiringBFS):
+    """min-plus BFS: frontier vector = current tentative distances."""
+
+    name = "tropical"
+    add = np.minimum
+    mul = np.add
+    zero = np.inf
+    edge_value = 1.0
+    pad_value = np.inf
+    needs_dp = True
+
+    def init_state(self, n: int, N: int, root: int) -> BFSState:
+        f = np.full(N, np.inf)
+        f[root] = 0.0
+        # d aliases f conceptually; materialized at finalize time.
+        return BFSState(f=f, d=f, n=n, N=N, root=root)
+
+    # ------------------------------------------------------------------
+    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int:
+        newly = int(np.count_nonzero(x_raw != st.f))
+        st.f = x_raw
+        st.d = x_raw
+        return newly
+
+    def chunk_post(self, vu: VectorUnit, st: BFSState, f_next: np.ndarray,
+                   addr: int, x: np.ndarray) -> int:
+        # Listing 5 line 24: "just a store".
+        vu.store(f_next, addr, x)
+        return int(np.count_nonzero(x != st.f[addr : addr + vu.C]))
+
+    def kernel_step(self, vu: VectorUnit, x: np.ndarray, rhs: np.ndarray,
+                    vals: np.ndarray) -> np.ndarray:
+        # x = MIN(ADD(rhs, vals), x)  -- Listing 5 line 14.
+        return vu.min(vu.add(rhs, vals), x)
+
+    def settled_lanes(self, st: BFSState) -> np.ndarray:
+        # Listing 7 lines 5-7: process the chunk while any distance is ∞.
+        return np.isfinite(st.f)
+
+    def finalize_distances(self, st: BFSState) -> np.ndarray:
+        return st.f.copy()

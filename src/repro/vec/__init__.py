@@ -1,0 +1,40 @@
+"""Simulated C-lane vector ISA (the paper's Listing 1/2 semantics).
+
+This package is the hardware substitute for the AVX / AVX-512 / CUDA-warp
+vector units the paper runs on.  A :class:`~repro.vec.ops.VectorUnit` executes
+Listing-1 operations (``LOAD``, ``STORE``, ``CMP``, ``BLEND``, ``MIN``,
+``MAX``, ``ADD``, ``MUL``, ``AND``, ``OR``, ``NOT``, ``GATHER``) on C-element
+NumPy slices while a :class:`~repro.vec.counters.OpCounters` records every
+instruction and every word of memory traffic.  Machine descriptors for the
+paper's seven evaluation systems live in :mod:`repro.vec.machine`.
+"""
+
+from repro.vec.counters import OpCounters
+from repro.vec.machine import (
+    DORA_CPU,
+    GREINA_XEON,
+    GTX670,
+    KNL,
+    MACHINES,
+    TESLA_K20X,
+    TESLA_K80,
+    TRIVIUM_HASWELL,
+    Machine,
+    get_machine,
+)
+from repro.vec.ops import VectorUnit
+
+__all__ = [
+    "OpCounters",
+    "VectorUnit",
+    "Machine",
+    "MACHINES",
+    "get_machine",
+    "DORA_CPU",
+    "KNL",
+    "TESLA_K80",
+    "TESLA_K20X",
+    "TRIVIUM_HASWELL",
+    "GTX670",
+    "GREINA_XEON",
+]

@@ -1,0 +1,117 @@
+"""Instruction and memory-traffic counters for the simulated vector unit.
+
+The paper's performance argument is about *counted* quantities: how many
+vector instructions a BFS iteration issues and how many words it moves
+through the memory subsystem.  ``OpCounters`` accumulates both so the cost
+model (:mod:`repro.perf.costmodel`) can turn them into modeled times on any
+:class:`~repro.vec.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpCounters:
+    """Mutable accumulator of vector-unit activity.
+
+    Attributes
+    ----------
+    instructions:
+        Per-mnemonic count of issued vector instructions (each processes one
+        C-lane vector regardless of C).
+    words_loaded / words_stored:
+        Memory traffic in 32-bit words.  Contiguous and gathered accesses are
+        tracked separately because gathers hit the memory subsystem harder.
+    gather_words:
+        Words moved by indexed (gather) loads; subset of ``words_loaded``.
+    lanes:
+        Total lanes processed (= instructions × C); useful to express SIMD
+        efficiency.
+    """
+
+    instructions: dict[str, int] = field(default_factory=dict)
+    words_loaded: int = 0
+    words_stored: int = 0
+    gather_words: int = 0
+    lanes: int = 0
+
+    def count(self, mnemonic: str, n: int = 1, lanes: int = 0) -> None:
+        """Record ``n`` issues of ``mnemonic`` touching ``lanes`` lanes."""
+        self.instructions[mnemonic] = self.instructions.get(mnemonic, 0) + n
+        self.lanes += lanes
+
+    def load(self, words: int, gather: bool = False) -> None:
+        """Record a load of ``words`` 32-bit words."""
+        self.words_loaded += words
+        if gather:
+            self.gather_words += words
+
+    def store(self, words: int) -> None:
+        """Record a store of ``words`` 32-bit words."""
+        self.words_stored += words
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_instructions(self) -> int:
+        """Total vector instructions issued."""
+        return sum(self.instructions.values())
+
+    @property
+    def total_words(self) -> int:
+        """Total memory words moved (loads + stores)."""
+        return self.words_loaded + self.words_stored
+
+    @property
+    def total_bytes(self) -> int:
+        """Total memory traffic in bytes (cells are 32-bit words)."""
+        return 4 * self.total_words
+
+    def copy(self) -> "OpCounters":
+        """Deep copy (the instruction dict is duplicated)."""
+        c = OpCounters(
+            instructions=dict(self.instructions),
+            words_loaded=self.words_loaded,
+            words_stored=self.words_stored,
+            gather_words=self.gather_words,
+            lanes=self.lanes,
+        )
+        return c
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.instructions.clear()
+        self.words_loaded = 0
+        self.words_stored = 0
+        self.gather_words = 0
+        self.lanes = 0
+
+    def __iadd__(self, other: "OpCounters") -> "OpCounters":
+        for k, v in other.instructions.items():
+            self.instructions[k] = self.instructions.get(k, 0) + v
+        self.words_loaded += other.words_loaded
+        self.words_stored += other.words_stored
+        self.gather_words += other.gather_words
+        self.lanes += other.lanes
+        return self
+
+    def __add__(self, other: "OpCounters") -> "OpCounters":
+        out = self.copy()
+        out += other
+        return out
+
+    def diff(self, before: "OpCounters") -> "OpCounters":
+        """Counters accumulated since the snapshot ``before``."""
+        d = OpCounters()
+        for k, v in self.instructions.items():
+            delta = v - before.instructions.get(k, 0)
+            if delta:
+                d.instructions[k] = delta
+        d.words_loaded = self.words_loaded - before.words_loaded
+        d.words_stored = self.words_stored - before.words_stored
+        d.gather_words = self.gather_words - before.gather_words
+        d.lanes = self.lanes - before.lanes
+        return d

@@ -1,0 +1,141 @@
+"""Machine descriptors for the paper's seven evaluation systems (§IV).
+
+Each :class:`Machine` captures the architectural parameters the cost model
+needs: SIMD lane count C (with 32-bit vertex ids, as the paper fixes in
+§IV-A), number of hardware compute units, clock, sustained memory bandwidth,
+and a latency-vs-throughput orientation factor used when modeling the
+traditional fine-grained BFS.
+
+The numbers are public spec-sheet values; the reproduction targets *shape*
+(who wins, by what rough factor, where crossovers fall), not absolute
+seconds, so modest inaccuracies here do not change any conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Machine:
+    """An evaluation system, as the cost model sees it.
+
+    Attributes
+    ----------
+    name:
+        Identifier used by benchmarks (e.g. ``"dora"``).
+    kind:
+        ``"cpu"``, ``"manycore"``, or ``"gpu"``.
+    simd_width:
+        Lanes per vector unit for 32-bit elements — the paper's C.
+    units:
+        Parallel compute units (cores, or GPU warps resident ≈ SMs×warps/SM
+        simplified to SM count; only relative magnitudes matter).
+    ghz:
+        Clock of one unit in GHz.
+    bandwidth_gbs:
+        Sustained memory bandwidth in GB/s (STREAM-like).
+    gather_penalty:
+        Multiplier applied to *vector-gather* traffic relative to streaming.
+        SpMV gathers read the hot frontier vector (n·4B, heavily reused, so
+        largely cache-resident); the penalty is modest.
+    random_penalty:
+        Multiplier applied to *fine-grained scalar* random accesses
+        (traditional BFS's visited checks and frontier scatter).  These
+        fetch a full cache line (64B) or memory sector per useful 4-byte
+        word, so the effective penalty is large: ≈16 worst case, ≈8 with
+        partial line reuse on CPUs; worse on GPUs, where uncoalesced
+        single-word accesses serialize the warp's memory transactions.
+    scalar_penalty:
+        Relative cost of a scalar (1-lane) op vs a full vector op; models
+        why fine-grained traditional BFS underutilizes wide units.
+    """
+
+    name: str
+    kind: str
+    simd_width: int
+    units: int
+    ghz: float
+    bandwidth_gbs: float
+    gather_penalty: float = 2.0
+    random_penalty: float = 8.0
+    scalar_penalty: float = 1.0
+
+    @property
+    def vector_throughput(self) -> float:
+        """Vector instructions retired per second across the machine."""
+        return self.units * self.ghz * 1e9
+
+    @property
+    def lane_throughput(self) -> float:
+        """Scalar-equivalent lane operations per second."""
+        return self.vector_throughput * self.simd_width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name} ({self.kind}, C={self.simd_width}, "
+            f"{self.units}x{self.ghz}GHz, {self.bandwidth_gbs}GB/s)"
+        )
+
+
+# --------------------------------------------------------------------------
+# The seven systems of §IV "Experimental Setup and Architectures"
+# --------------------------------------------------------------------------
+
+#: CSCS Piz Dora node: 2x Xeon E5-2695 v4 @2.1GHz, 18 cores each, AVX2 (C=8).
+DORA_CPU = Machine("dora", "cpu", simd_width=8, units=36, ghz=2.1,
+                   bandwidth_gbs=130.0, gather_penalty=1.6, random_penalty=8.0,
+                   scalar_penalty=1.0)
+
+#: Intel Xeon Phi KNL 7210: 64 cores @1.3GHz, AVX-512 (C=16), MCDRAM.
+KNL = Machine("knl", "manycore", simd_width=16, units=64, ghz=1.3,
+              bandwidth_gbs=400.0, gather_penalty=2.2, random_penalty=8.0,
+              scalar_penalty=2.0)
+
+#: NVIDIA Tesla K80 (one GK210): warp of 32 (C=32), 13 SMX.
+TESLA_K80 = Machine("tesla-k80", "gpu", simd_width=32, units=13, ghz=0.56,
+                    bandwidth_gbs=240.0, gather_penalty=3.0, random_penalty=16.0,
+                    scalar_penalty=8.0)
+
+#: NVIDIA Tesla K20X (Piz Daint): warp of 32, 14 SMX.
+TESLA_K20X = Machine("tesla-k20x", "gpu", simd_width=32, units=14, ghz=0.73,
+                     bandwidth_gbs=250.0, gather_penalty=3.0, random_penalty=16.0,
+                     scalar_penalty=8.0)
+
+#: Commodity Haswell CPU (Trivium server), AVX2 (C=8), 4 cores.
+TRIVIUM_HASWELL = Machine("trivium-haswell", "cpu", simd_width=8, units=4, ghz=3.4,
+                          bandwidth_gbs=25.6, gather_penalty=1.6,
+                          random_penalty=8.0, scalar_penalty=1.0)
+
+#: Commodity NVIDIA GTX 670, warp of 32, 7 SMX.
+GTX670 = Machine("gtx670", "gpu", simd_width=32, units=7, ghz=0.92,
+                 bandwidth_gbs=192.0, gather_penalty=3.0, random_penalty=16.0,
+                 scalar_penalty=8.0)
+
+#: Low-latency Xeon E5-1620 @3.5GHz (Greina), 4 cores, AVX (C=8).
+GREINA_XEON = Machine("greina-xeon", "cpu", simd_width=8, units=4, ghz=3.5,
+                      bandwidth_gbs=51.2, gather_penalty=1.5, random_penalty=8.0,
+                      scalar_penalty=1.0)
+
+MACHINES: dict[str, Machine] = {
+    m.name: m
+    for m in (
+        DORA_CPU,
+        KNL,
+        TESLA_K80,
+        TESLA_K20X,
+        TRIVIUM_HASWELL,
+        GTX670,
+        GREINA_XEON,
+    )
+}
+
+
+def get_machine(name: str) -> Machine:
+    """Look up one of the seven evaluation systems by name."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,174 @@
+"""The simulated vector unit: Listing 1/2 of the paper, on NumPy.
+
+A :class:`VectorUnit` executes C-lane vector operations with exactly the
+semantics of the paper's Listing 1 (``LOAD``, ``STORE``, ``SET1``, ``CMP``,
+``BLEND``, ``MIN``, ``MAX``, ``ADD``, ``MUL``, ``AND``, ``OR``, ``NOT``) plus
+the indexed ``GATHER`` used to form the ``rhs`` vector in Listings 5/6.
+
+Each method operates on length-C NumPy arrays ("registers") and records one
+vector instruction in the attached :class:`~repro.vec.counters.OpCounters`.
+The kernels in :mod:`repro.bfs.spmv` are direct transliterations of the
+paper's listings on top of this unit, so lane width C is the only knob that
+distinguishes a Haswell CPU (C=8) from a KNL (C=16) or a GPU warp (C=32).
+
+Counting can be disabled (``counting=False``) for pure-speed runs; semantics
+are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.vec.counters import OpCounters
+
+CmpOp = Literal["EQ", "NEQ", "LT", "LE", "GT", "GE"]
+
+_CMP_FUNCS = {
+    "EQ": np.equal,
+    "NEQ": np.not_equal,
+    "LT": np.less,
+    "LE": np.less_equal,
+    "GT": np.greater,
+    "GE": np.greater_equal,
+}
+
+
+class VectorUnit:
+    """A C-lane SIMD execution unit with instruction/traffic accounting.
+
+    Parameters
+    ----------
+    C:
+        Number of lanes (the paper's chunk height / SIMD width).
+    counters:
+        Accumulator for issued instructions and memory words; a fresh one is
+        created when omitted.
+    counting:
+        When ``False`` all bookkeeping is skipped (hot-path mode).
+    """
+
+    def __init__(self, C: int, counters: OpCounters | None = None, counting: bool = True):
+        if C < 1:
+            raise ValueError(f"SIMD width C must be >= 1, got {C}")
+        self.C = int(C)
+        self.counters = counters if counters is not None else OpCounters()
+        self.counting = bool(counting)
+
+    # ------------------------------------------------------------------
+    # Memory instructions
+    # ------------------------------------------------------------------
+    def load(self, mem: np.ndarray, addr: int) -> np.ndarray:
+        """Contiguous load of C elements starting at ``addr`` (Listing 1 LOAD)."""
+        out = mem[addr : addr + self.C]
+        if self.counting:
+            self.counters.count("LOAD", lanes=self.C)
+            self.counters.load(self.C)
+        return out
+
+    def store(self, mem: np.ndarray, addr: int, data: np.ndarray) -> None:
+        """Contiguous store of C elements at ``addr`` (Listing 1 STORE)."""
+        mem[addr : addr + self.C] = data
+        if self.counting:
+            self.counters.count("STORE", lanes=self.C)
+            self.counters.store(self.C)
+
+    def gather(self, mem: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Indexed load ``[mem[idx[0]], ..., mem[idx[C-1]]]``.
+
+        This is the ``rhs`` construction of Listings 5/6 (a ``set`` of C
+        scalar loads on AVX, a real gather on AVX-512/GPU).  Counted as one
+        vector instruction but C words of *gathered* traffic.
+        """
+        out = mem[idx]
+        if self.counting:
+            self.counters.count("GATHER", lanes=self.C)
+            self.counters.load(self.C, gather=True)
+        return out
+
+    # ------------------------------------------------------------------
+    # Register creation
+    # ------------------------------------------------------------------
+    def set1(self, value, dtype=np.float64) -> np.ndarray:
+        """Broadcast one scalar into all C lanes (``_mm256_set1_*``)."""
+        out = np.full(self.C, value, dtype=dtype)
+        if self.counting:
+            self.counters.count("SET1", lanes=self.C)
+        return out
+
+    def set(self, values) -> np.ndarray:
+        """Build a register from C individual elements (``_mm256_set_*``)."""
+        out = np.asarray(values)
+        if out.shape != (self.C,):
+            raise ValueError(f"set() needs exactly C={self.C} elements, got shape {out.shape}")
+        if self.counting:
+            self.counters.count("SET", lanes=self.C)
+        return out
+
+    # ------------------------------------------------------------------
+    # Compute instructions
+    # ------------------------------------------------------------------
+    def _bin(self, name: str, fn, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = fn(a, b)
+        if self.counting:
+            self.counters.count(name, lanes=self.C)
+        return out
+
+    def cmp(self, a: np.ndarray, b: np.ndarray, op: CmpOp) -> np.ndarray:
+        """Elementwise compare; returns a 0/1 mask vector (Listing 1 CMP)."""
+        mask = _CMP_FUNCS[op](a, b)
+        if self.counting:
+            self.counters.count("CMP", lanes=self.C)
+        return mask
+
+    def blend(self, a: np.ndarray, b: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """``out[i] = b[i] if mask[i] else a[i]`` (Listing 1 BLEND)."""
+        out = np.where(mask.astype(bool), b, a)
+        if self.counting:
+            self.counters.count("BLEND", lanes=self.C)
+        return out
+
+    def min(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise minimum."""
+        return self._bin("MIN", np.minimum, a, b)
+
+    def max(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise maximum."""
+        return self._bin("MAX", np.maximum, a, b)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise addition."""
+        return self._bin("ADD", np.add, a, b)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise multiplication."""
+        return self._bin("MUL", np.multiply, a, b)
+
+    def logical_and(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise logical AND on 0/1 vectors."""
+        out = np.logical_and(a, b)
+        if self.counting:
+            self.counters.count("AND", lanes=self.C)
+        return out
+
+    def logical_or(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise logical OR on 0/1 vectors."""
+        out = np.logical_or(a, b)
+        if self.counting:
+            self.counters.count("OR", lanes=self.C)
+        return out
+
+    def logical_not(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise logical negation (the paper's overbar operator)."""
+        out = np.logical_not(np.asarray(a, dtype=bool))
+        if self.counting:
+            self.counters.count("NOT", lanes=self.C)
+        return out
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def snapshot(self) -> OpCounters:
+        """Copy of the current counters (for before/after diffs)."""
+        return self.counters.copy()

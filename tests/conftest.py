@@ -1,0 +1,88 @@
+"""Shared fixtures: canonical small graphs and generated workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.kronecker import kronecker
+from repro.graphs.erdos_renyi import erdos_renyi_nm
+
+SEMIRING_NAMES = ["tropical", "real", "boolean", "sel-max"]
+
+
+def path_graph(n: int) -> Graph:
+    e = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+    return Graph.from_edges(n, e)
+
+
+def cycle_graph(n: int) -> Graph:
+    e = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+    return Graph.from_edges(n, e)
+
+
+def star_graph(n: int) -> Graph:
+    e = np.stack([np.zeros(n - 1, dtype=np.int64), np.arange(1, n)], axis=1)
+    return Graph.from_edges(n, e)
+
+
+def complete_graph(n: int) -> Graph:
+    u, v = np.triu_indices(n, k=1)
+    return Graph.from_edges(n, np.stack([u, v], axis=1))
+
+
+def two_components() -> Graph:
+    # K4 on {0..3} and a path on {4..7}; vertex 8 isolated.
+    u, v = np.triu_indices(4, k=1)
+    k4 = np.stack([u, v], axis=1)
+    pth = np.array([[4, 5], [5, 6], [6, 7]])
+    return Graph.from_edges(9, np.concatenate([k4, pth]))
+
+
+@pytest.fixture
+def path10() -> Graph:
+    return path_graph(10)
+
+
+@pytest.fixture
+def cycle12() -> Graph:
+    return cycle_graph(12)
+
+
+@pytest.fixture
+def star16() -> Graph:
+    return star_graph(16)
+
+
+@pytest.fixture
+def complete8() -> Graph:
+    return complete_graph(8)
+
+
+@pytest.fixture
+def disconnected() -> Graph:
+    return two_components()
+
+
+@pytest.fixture(scope="session")
+def kron_small() -> Graph:
+    """A 512-vertex Kronecker graph (power-law, possibly disconnected)."""
+    return kronecker(9, 8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def kron_medium() -> Graph:
+    """A 2048-vertex Kronecker graph for engine-level tests."""
+    return kronecker(11, 8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def er_small() -> Graph:
+    """A 512-vertex Erdős–Rényi graph with ρ̄ ≈ 8."""
+    return erdos_renyi_nm(512, 512 * 4, seed=13)
+
+
+@pytest.fixture(params=SEMIRING_NAMES)
+def semiring_name(request) -> str:
+    return request.param

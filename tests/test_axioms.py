@@ -1,0 +1,74 @@
+"""Tests of the semiring axiom verifier."""
+
+import numpy as np
+import pytest
+
+from repro.semirings import SEMIRINGS
+from repro.semirings.axioms import MUL_IDENTITY, SAMPLE_DOMAINS, verify_semiring
+from repro.semirings.base import SemiringBFS, get_semiring
+
+
+class TestShippedSemirings:
+    @pytest.mark.parametrize("name", sorted(SEMIRINGS))
+    def test_all_axioms_hold(self, name):
+        assert verify_semiring(get_semiring(name)) == []
+
+    def test_domains_cover_all_semirings(self):
+        assert set(SAMPLE_DOMAINS) == set(SEMIRINGS)
+        assert set(MUL_IDENTITY) == set(SEMIRINGS)
+
+    def test_tropical_mul_identity_is_zero(self):
+        # Tropical ⊗ is +, so el2 = 0 — a classic pitfall the table encodes.
+        assert MUL_IDENTITY["tropical"] == 0.0
+
+
+class _BrokenSemiring(SemiringBFS):
+    """Subtraction is not commutative: the verifier must flag it."""
+
+    name = "broken"
+    add = np.subtract
+    mul = np.multiply
+    zero = 0.0
+    edge_value = 1.0
+    pad_value = 0.0
+
+    def init_state(self, n, N, root):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def postprocess(self, st, x_raw):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def chunk_post(self, vu, st, f_next, addr, x):  # pragma: no cover
+        raise NotImplementedError
+
+    def kernel_step(self, vu, x, rhs, vals):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def settled_lanes(self, st):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def finalize_distances(self, st):  # pragma: no cover - unused
+        raise NotImplementedError
+
+
+class TestDetection:
+    def test_broken_semiring_flagged(self):
+        v = verify_semiring(_BrokenSemiring(),
+                            domain=np.array([0.0, 1.0, 2.0]))
+        assert "add-commutative" in v
+
+    def test_unknown_semiring_needs_domain(self):
+        with pytest.raises(ValueError, match="no default domain"):
+            verify_semiring(_BrokenSemiring())
+
+    def test_selmax_annihilation_fails_on_negative_domain(self):
+        # The documented caveat: 0 is only an annihilator for x >= 0.
+        sr = get_semiring("sel-max")
+        v = verify_semiring(sr, domain=np.array([-5.0, 0.0, 1.0]))
+        assert "pad-annihilation" in v
+
+    def test_annihilation_check_can_be_skipped(self):
+        sr = get_semiring("sel-max")
+        v = verify_semiring(sr, domain=np.array([0.0, 1.0]),
+                            check_annihilation=False)
+        assert "pad-annihilation" not in v

@@ -1,0 +1,74 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import _load_graph, build_parser, main
+
+
+class TestGraphSpecs:
+    def test_kronecker_spec(self):
+        g = _load_graph("kronecker:8,4")
+        assert g.n == 256
+
+    def test_kronecker_spec_with_seed(self):
+        assert _load_graph("kronecker:7,4,5") == _load_graph("kronecker:7,4,5")
+
+    def test_er_spec(self):
+        g = _load_graph("er:100,200")
+        assert g.n == 100 and g.m == 200
+
+    def test_proxy_spec(self):
+        g = _load_graph("proxy:epi,512")
+        assert g.n >= 16
+
+    def test_unknown_generator(self):
+        with pytest.raises(SystemExit, match="unknown generator"):
+            _load_graph("magic:1")
+
+    def test_file_paths(self, tmp_path):
+        from repro.graphs.io import save_edgelist, save_npz
+        from repro.graphs.kronecker import kronecker
+
+        g = kronecker(6, 4, seed=0)
+        save_edgelist(g, tmp_path / "g.txt")
+        save_npz(g, tmp_path / "g.npz")
+        assert _load_graph(str(tmp_path / "g.npz")) == g
+        loaded = _load_graph(str(tmp_path / "g.txt"))
+        assert loaded.m == g.m
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "knl" in out and "tesla-k80" in out
+
+    def test_bfs_spmv(self, capsys):
+        assert main(["bfs", "kronecker:8,4", "--semiring", "sel-max",
+                     "--slimwork", "-C", "4", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "reached" in out and "iter 1" in out
+
+    @pytest.mark.parametrize("algo", ["spmspv", "traditional", "direction-opt"])
+    def test_bfs_other_algorithms(self, algo, capsys):
+        assert main(["bfs", "kronecker:7,4", "--algorithm", algo]) == 0
+        assert "reached" in capsys.readouterr().out
+
+    def test_bfs_explicit_root(self, capsys):
+        assert main(["bfs", "er:64,128", "--root", "7"]) == 0
+        assert "root=7" in capsys.readouterr().out
+
+    def test_storage(self, capsys):
+        assert main(["storage", "kronecker:8,4", "-C", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "SlimSell" in out and "ELLPACK" in out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "k.npz"
+        assert main(["generate", "kronecker:7,4", str(out_file)]) == 0
+        assert out_file.exists()
+        assert main(["bfs", str(out_file)]) == 0
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

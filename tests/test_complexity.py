@@ -1,0 +1,121 @@
+"""Tests of the work-complexity analysis (Table II, Eqs. (1)-(2), Fig 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import (
+    TABLE_II,
+    er_max_degree_bound,
+    powerlaw_max_degree_bound,
+    sell_storage_upper_bound,
+    work_bound_er,
+    work_bound_general,
+    work_bound_powerlaw,
+    work_table,
+)
+from repro.bfs.spmv import BFSSpMV
+from repro.formats.sell import SellCSigma
+from repro.formats.slimsell import SlimSell
+from repro.graphs.erdos_renyi import erdos_renyi
+from repro.graphs.kronecker import kronecker
+
+
+class TestTableII:
+    def test_nine_schemes(self):
+        assert len(TABLE_II) == 9
+        assert {wb.scheme for wb in TABLE_II} >= {
+            "traditional-textbook", "spmv-textbook", "this-work"}
+
+    def test_work_table_evaluates_all(self):
+        wt = work_table(n=1000, m=8000, D=6, C=8, rho_max=120)
+        assert set(wt) == {wb.scheme for wb in TABLE_II}
+        assert all(v > 0 for v in wt.values())
+
+    def test_ordering_textbook_spmv_is_worst(self):
+        wt = work_table(n=1000, m=8000, D=6, C=8, rho_max=120)
+        assert wt["spmv-textbook"] == max(wt.values())
+        assert wt["traditional-textbook"] == min(wt.values())
+
+    def test_this_work_between_traditional_and_dense(self):
+        wt = work_table(n=4096, m=32768, D=8, C=16, rho_max=500)
+        assert wt["traditional-textbook"] < wt["this-work"] < wt["spmv-textbook"]
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(TypeError, match="missing"):
+            TABLE_II[0]()  # traditional-textbook needs n, m
+
+
+class TestStorageBound:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("C", [4, 8, 16])
+    def test_measured_slots_within_bound(self, seed, C):
+        # Fig 3: with full sorting, slots <= 2m + rho_max * C.
+        g = kronecker(8, 6, seed=seed)
+        s = SellCSigma(g, C, sigma=g.n)
+        assert s.total_slots <= sell_storage_upper_bound(2 * g.m, g.max_degree, C)
+
+    def test_bound_tightness_lower(self):
+        # The minimum storage is max(2m, rho_max*C); bound within 2x of it.
+        g = kronecker(9, 8, seed=1)
+        C = 8
+        s = SellCSigma(g, C, sigma=g.n)
+        assert s.total_slots >= max(2 * g.m, g.max_degree * C)
+
+
+class TestMaxDegreeBounds:
+    def test_er_dense_regime_linear_in_np(self):
+        assert er_max_degree_bound(10**6, 1e-3) == pytest.approx(4 * 1000)
+
+    def test_er_sparse_regime_log(self):
+        b = er_max_degree_bound(10**6, 1e-9)
+        assert b == pytest.approx(4 * math.log(10**6))
+
+    def test_er_bound_holds_empirically(self):
+        n, p = 2048, 8 / 2048
+        g = erdos_renyi(n, p, seed=3)
+        assert g.max_degree <= er_max_degree_bound(n, p)
+
+    def test_powerlaw_bound_grows_sublinearly(self):
+        b1 = powerlaw_max_degree_bound(10**4, 1.0, 2.5)
+        b2 = powerlaw_max_degree_bound(10**6, 1.0, 2.5)
+        assert b2 > b1
+        assert b2 / b1 < 100  # sublinear in n
+
+    def test_powerlaw_beta_validation(self):
+        with pytest.raises(ValueError, match="beta"):
+            powerlaw_max_degree_bound(100, 1.0, 1.0)
+
+    def test_kronecker_max_degree_below_powerlaw_bound(self):
+        g = kronecker(11, 16, seed=0)
+        bound = powerlaw_max_degree_bound(g.n, alpha=g.avg_degree, beta=2.0)
+        assert g.max_degree <= bound
+
+    def test_tiny_n(self):
+        assert er_max_degree_bound(1, 0.5) == 0.0
+        assert powerlaw_max_degree_bound(1, 1.0, 2.5) == 0.0
+
+
+class TestWorkBounds:
+    def test_eq1_eq2_general_consistency(self):
+        n, m, D, C = 4096, 32768, 8, 16
+        general = work_bound_general(n, m, D, C, rho_max=int(4 * m / n))
+        eq1 = work_bound_er(n, m, D, C, p=2 * m / (n * n))
+        eq2 = work_bound_powerlaw(n, m, D, C, alpha=1.0, beta=2.3)
+        assert general > 0 and eq1 > 0 and eq2 > 0
+        # All share the dominant D(n+m) term.
+        base = D * (n + m)
+        for b in (general, eq1, eq2):
+            assert b >= base
+
+    def test_measured_work_within_general_bound(self, kron_medium):
+        # Engine-counted padded work per iteration must sit under the bound.
+        g = kron_medium
+        C = 8
+        rep = SlimSell(g, C, g.n)
+        res = BFSSpMV(rep, "tropical").run(0)
+        D = res.n_iterations
+        measured = sum(it.work_lanes + g.n for it in res.iterations)
+        bound = work_bound_general(g.n, 2 * g.m, D, C, g.max_degree)
+        assert measured <= bound

@@ -1,0 +1,121 @@
+"""Tests of the analytic cost model."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.spmv import BFSSpMV
+from repro.bfs.traditional import bfs_top_down
+from repro.formats.slimsell import SlimSell
+from repro.perf.costmodel import (
+    ModeledTime,
+    model_bfs_result,
+    model_scalar_iteration,
+    model_traditional_result,
+    model_vector_iteration,
+)
+from repro.vec.counters import OpCounters
+from repro.vec.machine import get_machine
+
+
+def counters(instr=100, loaded=1000, gathered=200, stored=100) -> OpCounters:
+    c = OpCounters()
+    c.count("ADD", instr)
+    c.load(loaded - gathered)
+    c.load(gathered, gather=True)
+    c.store(stored)
+    return c
+
+
+class TestModeledTime:
+    def test_total_is_roofline_max(self):
+        t = ModeledTime(2.0, 3.0)
+        assert t.t_total == 3.0
+        assert t.bound == "compute"
+        assert ModeledTime(5.0, 1.0).bound == "memory"
+
+    def test_addition_per_resource(self):
+        t = ModeledTime(1.0, 2.0) + ModeledTime(3.0, 1.0)
+        assert t.t_memory == 4.0 and t.t_compute == 3.0
+
+
+class TestVectorModel:
+    def test_positive_and_scales_linearly(self):
+        m = get_machine("dora")
+        t1 = model_vector_iteration(m, counters(instr=100, loaded=1000))
+        t2 = model_vector_iteration(m, counters(instr=200, loaded=2000,
+                                                gathered=400, stored=200))
+        assert t1.t_total > 0
+        assert t2.t_memory == pytest.approx(2 * t1.t_memory)
+        assert t2.t_compute == pytest.approx(2 * t1.t_compute)
+
+    def test_gather_penalty_applied(self):
+        m = get_machine("tesla-k80")
+        no_gather = counters(loaded=1000, gathered=0, stored=0)
+        all_gather = counters(loaded=1000, gathered=1000, stored=0)
+        a = model_vector_iteration(m, no_gather)
+        b = model_vector_iteration(m, all_gather)
+        assert b.t_memory == pytest.approx(a.t_memory * m.gather_penalty, rel=0.05)
+
+    def test_balance_scales_compute_only(self):
+        m = get_machine("knl")
+        good = model_vector_iteration(m, counters(), balance=1.0)
+        bad = model_vector_iteration(m, counters(), balance=4.0)
+        assert bad.t_compute == pytest.approx(4 * good.t_compute)
+        assert bad.t_memory == good.t_memory
+
+    def test_fewer_threads_slower_compute(self):
+        m = get_machine("dora")
+        all_units = model_vector_iteration(m, counters())
+        one = model_vector_iteration(m, counters(), threads=1)
+        assert one.t_compute == pytest.approx(m.units * all_units.t_compute)
+
+
+class TestScalarModel:
+    def test_gpu_penalizes_scalar_bfs(self):
+        # The same traditional BFS work must model slower on a GPU than on a
+        # comparable-bandwidth CPU: fine-grained scalar work wastes the warp.
+        cpu, gpu = get_machine("dora"), get_machine("tesla-k80")
+        t_cpu = model_scalar_iteration(cpu, edges_examined=10**6)
+        t_gpu = model_scalar_iteration(gpu, edges_examined=10**6)
+        assert t_gpu.t_compute > t_cpu.t_compute
+
+    def test_scales_with_edges(self):
+        m = get_machine("dora")
+        a = model_scalar_iteration(m, 1000)
+        b = model_scalar_iteration(m, 2000)
+        assert b.t_compute == pytest.approx(2 * a.t_compute)
+
+
+class TestResultModeling:
+    def test_model_bfs_result_per_iteration(self, kron_small):
+        rep = SlimSell(kron_small, 8)
+        res = BFSSpMV(rep, "tropical", counting=True).run(0)
+        times = model_bfs_result(get_machine("knl"), res)
+        assert len(times) == res.n_iterations
+        assert all(t.t_total > 0 for t in times)
+
+    def test_model_requires_counters(self, kron_small):
+        rep = SlimSell(kron_small, 8)
+        res = BFSSpMV(rep, "tropical", counting=False).run(0)
+        with pytest.raises(ValueError, match="no counters"):
+            model_bfs_result(get_machine("knl"), res)
+
+    def test_model_traditional_result(self, kron_small):
+        res = bfs_top_down(kron_small, 0)
+        times = model_traditional_result(get_machine("dora"), res)
+        assert len(times) == res.n_iterations
+        # Iteration cost tracks edges examined.
+        edges = np.array([it.edges_examined for it in res.iterations])
+        totals = np.array([t.t_total for t in times])
+        assert totals[np.argmax(edges)] == totals.max()
+
+    def test_wide_simd_wins_on_vector_work(self, kron_medium):
+        # Fig 9/10 mechanism: with identical counted work, the GPU and KNL
+        # (wide SIMD + bandwidth) model faster than a narrow low-BW CPU.
+        rep = SlimSell(kron_medium, 32, kron_medium.n)
+        res = BFSSpMV(rep, "tropical", counting=True, slimwork=True).run(0)
+        t_cpu = sum(t.t_total for t in model_bfs_result(
+            get_machine("trivium-haswell"), res))
+        t_gpu = sum(t.t_total for t in model_bfs_result(
+            get_machine("tesla-k80"), res))
+        assert t_gpu < t_cpu

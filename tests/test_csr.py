@@ -1,0 +1,90 @@
+"""Tests of the CSR representation and the reference semiring SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix, segment_reduce
+from repro.semirings import SEMIRINGS
+from repro.semirings.base import get_semiring
+
+from conftest import path_graph, star_graph, two_components
+
+
+class TestSegmentReduce:
+    def test_basic_sum(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        indptr = np.array([0, 2, 4])
+        assert np.array_equal(segment_reduce(np.add, data, indptr, 0.0), [3, 7])
+
+    def test_empty_rows_get_identity(self):
+        data = np.array([5.0, 6.0])
+        indptr = np.array([0, 0, 2, 2])
+        out = segment_reduce(np.minimum, data, indptr, np.inf)
+        assert out[0] == np.inf and out[2] == np.inf
+        assert out[1] == 5.0
+
+    def test_all_empty(self):
+        out = segment_reduce(np.add, np.empty(0), np.array([0, 0, 0]), -1.0)
+        assert np.array_equal(out, [-1, -1])
+
+    def test_single_row(self):
+        out = segment_reduce(np.maximum, np.array([3.0, 9.0, 1.0]),
+                             np.array([0, 3]), 0.0)
+        assert out.tolist() == [9.0]
+
+
+class TestCSRStructure:
+    def test_storage_cells_formula(self):
+        g = star_graph(10)  # m=9, n=10
+        assert CSRMatrix(g).storage_cells() == 4 * 9 + 10
+
+    def test_val_for_all_ones(self):
+        g = path_graph(4)
+        csr = CSRMatrix(g)
+        for name in SEMIRINGS:
+            v = csr.val_for(get_semiring(name))
+            assert v.shape == (2 * g.m,)
+            assert np.all(v == 1.0)
+
+
+class TestSpMVAgainstScipy:
+    @pytest.mark.parametrize("semiring", ["real"])
+    def test_real_matches_scipy_matvec(self, semiring):
+        rng = np.random.default_rng(0)
+        g = two_components()
+        x = rng.random(g.n)
+        got = CSRMatrix(g).spmv(get_semiring(semiring), x)
+        want = g.to_scipy() @ x
+        np.testing.assert_allclose(got, want)
+
+    def test_tropical_one_step_relaxation(self):
+        g = path_graph(4)
+        x = np.array([0.0, np.inf, np.inf, np.inf])
+        out = CSRMatrix(g).spmv(get_semiring("tropical"), x)
+        # vertex 1 sees the root at distance 0 + 1 hop; others see inf.
+        assert out.tolist() == [np.inf, 1.0, np.inf, np.inf]
+
+    def test_boolean_frontier_expansion(self):
+        g = star_graph(5)
+        x = np.zeros(5)
+        x[0] = 1.0
+        out = CSRMatrix(g).spmv(get_semiring("boolean"), x)
+        assert out.tolist() == [0.0, 1.0, 1.0, 1.0, 1.0]
+
+    def test_selmax_takes_max_neighbor_value(self):
+        g = path_graph(3)
+        x = np.array([5.0, 0.0, 9.0])
+        out = CSRMatrix(g).spmv(get_semiring("sel-max"), x)
+        assert out.tolist() == [0.0, 9.0, 0.0]
+
+    def test_empty_row_yields_semiring_zero(self):
+        g = two_components()  # vertex 8 isolated
+        for name in SEMIRINGS:
+            sr = get_semiring(name)
+            out = CSRMatrix(g).spmv(sr, np.ones(g.n))
+            assert out[8] == sr.zero
+
+    def test_short_x_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="shorter"):
+            CSRMatrix(g).spmv(get_semiring("real"), np.zeros(2))

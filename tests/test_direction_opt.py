@@ -1,0 +1,72 @@
+"""Tests of the direction-optimizing BFS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.direction_opt import bfs_direction_optimizing
+from repro.bfs.validate import check_parents_valid, reference_distances
+from repro.graphs.kronecker import kronecker
+
+from conftest import complete_graph, cycle_graph, path_graph, star_graph, two_components
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("builder,n", [
+        (path_graph, 15), (cycle_graph, 11), (star_graph, 20), (complete_graph, 8),
+    ])
+    def test_matches_reference(self, builder, n):
+        g = builder(n)
+        ref = reference_distances(g, 0)
+        res = bfs_direction_optimizing(g, 0)
+        np.testing.assert_array_equal(res.dist, ref)
+        check_parents_valid(g, res)
+
+    @pytest.mark.parametrize("root", [0, 7, 100])
+    def test_kronecker_roots(self, kron_small, root):
+        ref = reference_distances(kron_small, root)
+        res = bfs_direction_optimizing(kron_small, root)
+        np.testing.assert_array_equal(res.dist, ref)
+        check_parents_valid(kron_small, res)
+
+    def test_disconnected(self):
+        g = two_components()
+        res = bfs_direction_optimizing(g, 4)
+        assert res.reached == 4  # the path component
+        assert np.isinf(res.dist[:4]).all()
+
+    def test_root_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            bfs_direction_optimizing(path_graph(3), -1)
+
+
+class TestSwitching:
+    def test_dense_graph_goes_bottom_up(self):
+        # A dense Kronecker graph has a huge middle frontier: with default
+        # alpha the traversal must take at least one bottom-up step.
+        g = kronecker(9, 32, seed=0)
+        res = bfs_direction_optimizing(g, 0, alpha=14.0, beta=24.0)
+        directions = {it.direction for it in res.iterations}
+        assert "bottom-up" in directions
+        assert res.iterations[0].direction == "top-down"
+
+    def test_tiny_alpha_disables_bottom_up(self):
+        # Switch threshold is m_u / alpha: alpha -> 0 makes it unreachable.
+        g = kronecker(9, 16, seed=1)
+        res = bfs_direction_optimizing(g, 0, alpha=1e-12)
+        assert all(it.direction == "top-down" for it in res.iterations)
+
+    def test_bottom_up_examines_fewer_edges_mid_traversal(self):
+        # On dense graphs the bottom-up sweep touches the unvisited side,
+        # which is smaller than the frontier's full adjacency mid-run.
+        g = kronecker(10, 64, seed=2)
+        td = bfs_direction_optimizing(g, 0, alpha=1e-12)  # pure top-down
+        do = bfs_direction_optimizing(g, 0, alpha=14.0)
+        td_total = sum(it.edges_examined for it in td.iterations)
+        do_total = sum(
+            it.edges_examined // (2 if it.direction == "bottom-up" else 1)
+            for it in do.iterations)
+        assert do_total < td_total
+
+    def test_path_graph_stays_top_down(self):
+        res = bfs_direction_optimizing(path_graph(30), 0)
+        assert all(it.direction == "top-down" for it in res.iterations)

@@ -1,0 +1,134 @@
+"""Tests of the distributed-memory BFS simulation (§VI)."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.validate import reference_distances
+from repro.dist.bfs1d import bfs_dist_1d
+from repro.dist.network import CRAY_ARIES, ETHERNET_10G, Network, model_allgather
+from repro.dist.partition import Partition1D
+from repro.formats.slimsell import SlimSell
+from repro.graphs.kronecker import kronecker
+from repro.vec.machine import get_machine
+
+KNL = get_machine("knl")
+
+
+class TestPartition:
+    def test_blocks_cover_all_chunks(self):
+        p = Partition1D.blocks(10, 3)
+        owned = np.concatenate([p.chunks_of(r) for r in range(3)])
+        assert np.array_equal(np.sort(owned), np.arange(10))
+
+    def test_owner_of_roundtrip(self):
+        p = Partition1D.blocks(12, 4)
+        for r in range(4):
+            for c in p.chunks_of(r):
+                assert p.owner_of(int(c)) == r
+
+    def test_balanced_equalizes_skewed_work(self):
+        cl = np.array([100, 90, 80, 1, 1, 1, 1, 1, 1, 1, 1, 1], dtype=np.int64)
+        blocks = Partition1D.blocks(cl.size, 4).work_per_rank(cl)
+        balanced = Partition1D.balanced(cl, 4).work_per_rank(cl)
+        assert balanced.max() < blocks.max()
+
+    def test_single_rank(self):
+        p = Partition1D.blocks(7, 1)
+        assert p.ranks == 1
+        assert p.chunks_of(0).size == 7
+
+    def test_more_ranks_than_chunks(self):
+        p = Partition1D.blocks(2, 5)
+        owned = np.concatenate([p.chunks_of(r) for r in range(5)])
+        assert np.array_equal(np.sort(owned), np.arange(2))
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError, match="ranks"):
+            Partition1D.blocks(4, 0)
+        with pytest.raises(ValueError, match="ranks"):
+            Partition1D.balanced(np.ones(4, dtype=np.int64), 0)
+
+
+class TestNetworkModel:
+    def test_single_rank_free(self):
+        assert model_allgather(CRAY_ARIES, 1, 10**6) == 0.0
+
+    def test_latency_and_bandwidth_terms(self):
+        net = Network("toy", latency_s=1e-6, bandwidth_gbs=1.0)
+        t = model_allgather(net, 4, 8 * 10**6)
+        assert t == pytest.approx(2e-6 + 8e6 * 0.75 / 1e9)
+
+    def test_aries_faster_than_ethernet(self):
+        assert model_allgather(CRAY_ARIES, 8, 10**6) < model_allgather(
+            ETHERNET_10G, 8, 10**6)
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError, match="ranks"):
+            model_allgather(CRAY_ARIES, 0, 100)
+
+
+class TestDistributedBFS:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g = kronecker(9, 8, seed=21)
+        rep = SlimSell(g, 8, g.n)
+        root = int(np.argmax(g.degrees))
+        return g, rep, root, reference_distances(g, root)
+
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 8])
+    def test_exact_distances_any_rank_count(self, setup, ranks):
+        g, rep, root, ref = setup
+        for part in (Partition1D.blocks(rep.nc, ranks),
+                     Partition1D.balanced(rep.cl, ranks)):
+            res = bfs_dist_1d(rep, root, part, KNL, CRAY_ARIES)
+            same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
+            assert same.all()
+
+    def test_balanced_partition_lowers_imbalance(self, setup):
+        g, rep, root, _ = setup
+        blocks = bfs_dist_1d(rep, root, Partition1D.blocks(rep.nc, 8),
+                             KNL, CRAY_ARIES)
+        balanced = bfs_dist_1d(rep, root, Partition1D.balanced(rep.cl, 8),
+                               KNL, CRAY_ARIES)
+        assert balanced.iterations[0].imbalance < blocks.iterations[0].imbalance
+
+    def test_comm_volume_is_frontier_allgather(self, setup):
+        g, rep, root, _ = setup
+        res = bfs_dist_1d(rep, root, Partition1D.blocks(rep.nc, 4),
+                          KNL, CRAY_ARIES)
+        assert all(it.comm_bytes == 4 * rep.N for it in res.iterations)
+
+    def test_single_rank_has_no_comm(self, setup):
+        g, rep, root, _ = setup
+        res = bfs_dist_1d(rep, root, Partition1D.blocks(rep.nc, 1),
+                          KNL, CRAY_ARIES)
+        assert res.total_comm_bytes == 0
+        assert all(it.t_comm_s == 0.0 for it in res.iterations)
+
+    def test_slimwork_reduces_rank_lanes(self, setup):
+        g, rep, root, _ = setup
+        on = bfs_dist_1d(rep, root, Partition1D.blocks(rep.nc, 4),
+                         KNL, CRAY_ARIES, slimwork=True)
+        off = bfs_dist_1d(rep, root, Partition1D.blocks(rep.nc, 4),
+                          KNL, CRAY_ARIES, slimwork=False)
+        assert (sum(it.rank_lanes.sum() for it in on.iterations)
+                < sum(it.rank_lanes.sum() for it in off.iterations))
+
+    def test_partition_must_cover_chunks(self, setup):
+        g, rep, root, _ = setup
+        bad = Partition1D(np.array([0, rep.nc - 1]))
+        with pytest.raises(ValueError, match="cover"):
+            bfs_dist_1d(rep, root, bad, KNL, CRAY_ARIES)
+
+    def test_root_out_of_range(self, setup):
+        g, rep, _, _ = setup
+        with pytest.raises(ValueError, match="out of range"):
+            bfs_dist_1d(rep, g.n + 1, Partition1D.blocks(rep.nc, 2),
+                        KNL, CRAY_ARIES)
+
+    def test_modeled_totals_positive(self, setup):
+        g, rep, root, _ = setup
+        res = bfs_dist_1d(rep, root, Partition1D.blocks(rep.nc, 4),
+                          KNL, CRAY_ARIES)
+        assert res.modeled_total_s > 0
+        assert res.wall_time_s > 0

@@ -1,0 +1,82 @@
+"""Tests of the 2D-decomposed distributed BFS simulation."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.validate import reference_distances
+from repro.dist.bfs1d import bfs_dist_1d
+from repro.dist.bfs2d import bfs_dist_2d
+from repro.dist.network import CRAY_ARIES
+from repro.dist.partition import Partition1D
+from repro.formats.slimsell import SlimSell
+from repro.graphs.kronecker import kronecker
+from repro.vec.machine import get_machine
+
+KNL = get_machine("knl")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = kronecker(9, 8, seed=33)
+    rep = SlimSell(g, 8, g.n)
+    root = int(np.argmax(g.degrees))
+    return g, rep, root, reference_distances(g, root)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 2), (4, 2), (1, 4), (3, 3)])
+    def test_exact_distances(self, setup, grid):
+        g, rep, root, ref = setup
+        res = bfs_dist_2d(rep, root, grid, KNL, CRAY_ARIES)
+        same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
+        assert same.all()
+        assert res.ranks == grid[0] * grid[1]
+
+    def test_matches_1d_iteration_profile(self, setup):
+        g, rep, root, _ = setup
+        r1 = bfs_dist_1d(rep, root, Partition1D.blocks(rep.nc, 4),
+                         KNL, CRAY_ARIES)
+        r2 = bfs_dist_2d(rep, root, (4, 1), KNL, CRAY_ARIES)
+        assert len(r1.iterations) == len(r2.iterations)
+        for a, b in zip(r1.iterations, r2.iterations):
+            assert a.newly == b.newly
+
+    def test_invalid_grid(self, setup):
+        g, rep, root, _ = setup
+        with pytest.raises(ValueError, match="grid"):
+            bfs_dist_2d(rep, root, (0, 2), KNL, CRAY_ARIES)
+
+    def test_root_out_of_range(self, setup):
+        g, rep, _, _ = setup
+        with pytest.raises(ValueError, match="out of range"):
+            bfs_dist_2d(rep, g.n, (2, 2), KNL, CRAY_ARIES)
+
+
+class TestScalability:
+    def test_2d_moves_less_data_than_1d_at_scale(self, setup):
+        """[9]'s argument: per-iteration words O(n/R + n/C) vs O(n)."""
+        g, rep, root, _ = setup
+        r1 = bfs_dist_1d(rep, root, Partition1D.blocks(rep.nc, 16),
+                         KNL, CRAY_ARIES)
+        r2 = bfs_dist_2d(rep, root, (4, 4), KNL, CRAY_ARIES)
+        per_iter_1d = r1.iterations[0].comm_bytes
+        per_iter_2d = r2.iterations[0].comm_bytes
+        assert per_iter_2d < per_iter_1d
+
+    def test_single_rank_no_comm(self, setup):
+        g, rep, root, _ = setup
+        res = bfs_dist_2d(rep, root, (1, 1), KNL, CRAY_ARIES)
+        assert res.total_comm_bytes == 0
+
+    def test_comm_shrinks_with_grid_dims(self, setup):
+        g, rep, root, _ = setup
+        small = bfs_dist_2d(rep, root, (2, 2), KNL, CRAY_ARIES)
+        large = bfs_dist_2d(rep, root, (4, 4), KNL, CRAY_ARIES)
+        assert large.iterations[0].comm_bytes < small.iterations[0].comm_bytes
+
+    def test_slimwork_active_in_2d(self, setup):
+        g, rep, root, _ = setup
+        on = bfs_dist_2d(rep, root, (2, 2), KNL, CRAY_ARIES, slimwork=True)
+        off = bfs_dist_2d(rep, root, (2, 2), KNL, CRAY_ARIES, slimwork=False)
+        assert (sum(it.rank_lanes.sum() for it in on.iterations)
+                < sum(it.rank_lanes.sum() for it in off.iterations))

@@ -1,0 +1,71 @@
+"""Tests of the DP transformation d → p (§II-C)."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.dp import dp_transform
+from repro.bfs.traditional import bfs_serial
+from repro.graphs.graph import Graph
+
+from conftest import complete_graph, cycle_graph, path_graph, star_graph, two_components
+
+
+class TestKnownGraphs:
+    def test_path_parents_chain(self):
+        g = path_graph(5)
+        d = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        p = dp_transform(g, d)
+        assert p.tolist() == [0, 0, 1, 2, 3]
+
+    def test_star_all_point_to_hub(self):
+        g = star_graph(6)
+        d = np.array([0.0] + [1.0] * 5)
+        p = dp_transform(g, d)
+        assert p.tolist() == [0, 0, 0, 0, 0, 0]
+
+    def test_cycle_ties_pick_max_id(self):
+        g = cycle_graph(4)
+        d = np.array([0.0, 1.0, 2.0, 1.0])
+        p = dp_transform(g, d)
+        assert p[2] == 3  # both 1 and 3 valid; max id wins
+        assert p[1] == 0 and p[3] == 0
+
+    def test_unreachable_stay_minus_one(self):
+        g = two_components()
+        d = np.full(9, np.inf)
+        d[0] = 0.0
+        d[1] = d[2] = d[3] = 1.0
+        p = dp_transform(g, d)
+        assert p[0] == 0
+        assert (p[4:] == -1).all()
+
+    def test_isolated_root(self):
+        g = Graph.empty(3)
+        d = np.array([np.inf, 0.0, np.inf])
+        p = dp_transform(g, d)
+        assert p.tolist() == [-1, 1, -1]
+
+    def test_empty_graph(self):
+        p = dp_transform(Graph.empty(0), np.empty(0))
+        assert p.size == 0
+
+
+class TestAgainstBFS:
+    @pytest.mark.parametrize("builder,n", [
+        (path_graph, 13), (cycle_graph, 10), (star_graph, 9), (complete_graph, 7),
+    ])
+    def test_parents_valid_for_bfs_distances(self, builder, n):
+        g = builder(n)
+        res = bfs_serial(g, 0)
+        p = dp_transform(g, res.dist)
+        reached = np.isfinite(res.dist)
+        for v in np.flatnonzero(reached):
+            if v == 0:
+                assert p[v] == 0
+            else:
+                assert g.has_edge(int(v), int(p[v]))
+                assert res.dist[p[v]] == res.dist[v] - 1
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            dp_transform(path_graph(4), np.zeros(3))

@@ -1,0 +1,84 @@
+"""Tests of the ELLPACK format and its Slim variant (§V comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.ellpack import Ellpack
+from repro.formats.sell import PAD
+from repro.formats.slimsell import SlimSell
+from repro.graphs.graph import Graph
+from repro.graphs.kronecker import kronecker
+from repro.semirings.base import get_semiring
+
+from conftest import SEMIRING_NAMES, path_graph, star_graph
+
+
+class TestLayout:
+    def test_block_shape(self):
+        g = star_graph(6)
+        e = Ellpack(g)
+        assert e.col.shape == (6, 5)  # width = hub degree
+
+    def test_rows_contain_neighbors(self):
+        g = path_graph(4)
+        e = Ellpack(g)
+        for v in range(4):
+            stored = set(e.col[v][e.col[v] != PAD].tolist())
+            assert stored == set(g.neighbors(v).tolist())
+
+    def test_padding_count(self):
+        g = star_graph(6)  # degrees 5,1,1,1,1,1 -> width 5
+        e = Ellpack(g)
+        assert e.padding_slots == 6 * 5 - 2 * 5
+
+    def test_empty_graph(self):
+        e = Ellpack(Graph.empty(3))
+        assert e.col.shape == (3, 0)
+        assert e.storage_cells() == 0
+
+
+class TestStorage:
+    def test_slim_halves_cells(self):
+        g = kronecker(8, 4, seed=0)
+        assert Ellpack(g, slim=True).storage_cells() == \
+            Ellpack(g).storage_cells() // 2
+
+    def test_powerlaw_padding_catastrophe(self):
+        # §V: ELLPACK pads every row to the hub degree; Sell-C-sigma's
+        # chunk-local padding is orders of magnitude smaller.
+        g = kronecker(10, 8, seed=1)
+        ell = Ellpack(g, slim=True)
+        slim = SlimSell(g, 8, g.n)
+        assert ell.storage_cells() > 5 * slim.storage_cells()
+
+    def test_name_property(self):
+        g = path_graph(3)
+        assert Ellpack(g).name == "ellpack"
+        assert Ellpack(g, slim=True).name == "slim-ellpack"
+
+
+class TestSpMV:
+    @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
+    @pytest.mark.parametrize("slim", [False, True])
+    def test_matches_csr(self, kron_small, semiring, slim):
+        g = kron_small
+        sr = get_semiring(semiring)
+        rng = np.random.default_rng(2)
+        if semiring == "tropical":
+            x = rng.choice([0.0, 1.0, np.inf], size=g.n)
+        else:
+            x = rng.integers(0, 3, size=g.n).astype(float)
+        got = Ellpack(g, slim=slim).spmv(sr, x)
+        want = CSRMatrix(g).spmv(sr, x)
+        np.testing.assert_allclose(got, want)
+
+    def test_edgeless_rows_get_zero(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        sr = get_semiring("tropical")
+        out = Ellpack(g).spmv(sr, np.zeros(3))
+        assert out[2] == np.inf
+
+    def test_short_x_rejected(self):
+        with pytest.raises(ValueError, match="shorter"):
+            Ellpack(path_graph(3)).spmv(get_semiring("real"), np.zeros(2))

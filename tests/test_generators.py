@@ -1,0 +1,114 @@
+"""Tests for the Kronecker and Erdős–Rényi generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.erdos_renyi import _pairs_from_ranks, erdos_renyi, erdos_renyi_nm
+from repro.graphs.kronecker import GRAPH500_INITIATOR, kronecker, kronecker_edges
+
+
+class TestKronecker:
+    def test_vertex_count(self):
+        g = kronecker(8, 4, seed=0)
+        assert g.n == 256
+
+    def test_edge_count_near_edgefactor(self):
+        # Dedup and self-loop removal shave a bit off edgefactor * n.
+        g = kronecker(10, 8, seed=1)
+        assert 0.5 * 8 * 1024 < g.m <= 8 * 1024
+
+    def test_determinism(self):
+        assert kronecker(8, 4, seed=42) == kronecker(8, 4, seed=42)
+
+    def test_seed_changes_graph(self):
+        assert kronecker(8, 4, seed=1) != kronecker(8, 4, seed=2)
+
+    def test_power_law_skew(self):
+        # R-MAT graphs are skewed: max degree far above the average.
+        g = kronecker(11, 8, seed=3)
+        assert g.max_degree > 5 * g.avg_degree
+
+    def test_raw_edges_shape_and_range(self):
+        e = kronecker_edges(6, 4, seed=0)
+        assert e.shape == (4 * 64, 2)
+        assert e.min() >= 0 and e.max() < 64
+
+    def test_initiator_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            kronecker_edges(4, 2, initiator=(0.5, 0.5, 0.5, 0.5))
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            kronecker_edges(-1, 2)
+
+    def test_scale_zero(self):
+        g = kronecker(0, 4, seed=0)
+        assert g.n == 1 and g.m == 0
+
+    def test_default_initiator_is_graph500(self):
+        assert GRAPH500_INITIATOR == (0.57, 0.19, 0.19, 0.05)
+
+
+class TestPairUnranking:
+    def test_all_ranks_bijective(self):
+        n = 13
+        total = n * (n - 1) // 2
+        pairs = _pairs_from_ranks(np.arange(total), n)
+        assert (pairs[:, 0] < pairs[:, 1]).all()
+        assert pairs.min() >= 0 and pairs.max() < n
+        keys = pairs[:, 0] * n + pairs[:, 1]
+        assert np.unique(keys).size == total
+
+    def test_first_and_last_rank(self):
+        n = 10
+        assert _pairs_from_ranks(np.array([0]), n).tolist() == [[0, 1]]
+        last = n * (n - 1) // 2 - 1
+        assert _pairs_from_ranks(np.array([last]), n).tolist() == [[n - 2, n - 1]]
+
+    def test_large_n_no_float_drift(self):
+        n = 1 << 20
+        total = n * (n - 1) // 2
+        ranks = np.array([0, 1, n - 2, n - 1, total - 1, total // 2], dtype=np.int64)
+        pairs = _pairs_from_ranks(ranks, n)
+        assert (pairs[:, 0] < pairs[:, 1]).all()
+        # Verify the unranking is self-consistent: re-rank and compare.
+        u, v = pairs[:, 0], pairs[:, 1]
+        rerank = u * (2 * n - u - 1) // 2 + (v - u - 1)
+        assert np.array_equal(rerank, ranks)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_nm(100, 250, seed=0)
+        assert g.n == 100 and g.m == 250
+
+    def test_zero_edges(self):
+        g = erdos_renyi_nm(10, 0, seed=0)
+        assert g.m == 0
+
+    def test_complete(self):
+        g = erdos_renyi_nm(8, 28, seed=0)
+        assert g.m == 28
+        assert g.max_degree == 7
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            erdos_renyi_nm(4, 10, seed=0)
+
+    def test_gnp_edge_count_near_expectation(self):
+        n, p = 400, 0.05
+        g = erdos_renyi(n, p, seed=1)
+        expect = p * n * (n - 1) / 2
+        assert abs(g.m - expect) < 5 * np.sqrt(expect)
+
+    def test_gnp_bad_probability(self):
+        with pytest.raises(ValueError, match=r"p must be in \[0, 1\]"):
+            erdos_renyi(10, 1.5)
+
+    def test_gnp_degrees_near_uniform(self):
+        # ER degrees concentrate: max degree close to the mean (vs power law).
+        g = erdos_renyi_nm(1024, 1024 * 8, seed=2)
+        assert g.max_degree < 3.5 * g.avg_degree
+
+    def test_determinism(self):
+        assert erdos_renyi_nm(64, 128, seed=9) == erdos_renyi_nm(64, 128, seed=9)

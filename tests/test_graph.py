@@ -1,0 +1,134 @@
+"""Unit tests for the core Graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+
+from conftest import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.n == 4
+        assert g.m == 3
+        assert np.array_equal(g.degrees, [1, 2, 2, 1])
+
+    def test_self_loops_dropped(self):
+        g = Graph.from_edges(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.m == 1
+        assert not g.has_edge(0, 0)
+
+    def test_duplicates_merged(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert g.m == 2
+
+    def test_neighbor_lists_sorted(self):
+        g = Graph.from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)])
+        assert np.array_equal(g.neighbors(2), [0, 1, 3, 4])
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.n == 5
+        assert g.m == 0
+        assert g.avg_degree == 0.0
+        assert g.max_degree == 0
+
+    def test_empty_edge_list(self):
+        g = Graph.from_edges(3, np.empty((0, 2), dtype=np.int64))
+        assert g.m == 0
+
+    def test_out_of_range_endpoint_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph.from_edges(3, [(0, 3)])
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError, match=r"shape \(E, 2\)"):
+            Graph.from_edges(3, np.zeros((2, 3), dtype=np.int64))
+
+    def test_malformed_csr_rejected(self):
+        with pytest.raises(ValueError, match="malformed CSR"):
+            Graph(np.array([1, 2]), np.array([0]))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Graph(np.array([0, 2, 1]), np.array([0]))
+
+
+class TestProperties:
+    def test_degrees_and_averages(self):
+        g = star_graph(10)
+        assert g.max_degree == 9
+        assert g.avg_degree == pytest.approx(2 * 9 / 10)
+
+    def test_has_edge(self):
+        g = cycle_graph(6)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 5)
+        assert not g.has_edge(0, 3)
+
+    def test_edges_roundtrip(self):
+        g = complete_graph(6)
+        e = g.edges()
+        assert e.shape == (15, 2)
+        assert (e[:, 0] < e[:, 1]).all()
+        g2 = Graph.from_edges(6, e)
+        assert g2 == g
+
+    def test_to_scipy_symmetric(self):
+        g = path_graph(5)
+        a = g.to_scipy()
+        assert (a != a.T).nnz == 0
+        assert a.nnz == 2 * g.m
+
+    def test_equality(self):
+        assert path_graph(4) == path_graph(4)
+        assert path_graph(4) != cycle_graph(4)
+        assert path_graph(4).__eq__(42) is NotImplemented
+
+
+class TestPermute:
+    def test_identity_permutation(self):
+        g = cycle_graph(8)
+        assert g.permute(np.arange(8)) == g
+
+    def test_reversal_preserves_structure(self):
+        g = path_graph(5)
+        perm = np.array([4, 3, 2, 1, 0])
+        h = g.permute(perm)
+        # old edge (0,1) -> new edge (4,3)
+        assert h.has_edge(4, 3)
+        assert h.has_edge(0, 1)  # old (4,3)
+        assert h.m == g.m
+
+    def test_random_permutation_isomorphic(self):
+        rng = np.random.default_rng(0)
+        g = complete_graph(5)
+        perm = rng.permutation(5)
+        h = g.permute(perm)
+        assert h.m == g.m
+        for u, v in g.edges():
+            assert h.has_edge(perm[u], perm[v])
+
+    def test_permute_keeps_neighbor_lists_sorted(self):
+        rng = np.random.default_rng(3)
+        g = Graph.from_edges(8, rng.integers(0, 8, size=(20, 2)))
+        h = g.permute(rng.permutation(8))
+        for v in range(8):
+            nb = h.neighbors(v)
+            assert np.array_equal(nb, np.sort(nb))
+
+    def test_degree_multiset_preserved(self):
+        rng = np.random.default_rng(5)
+        g = Graph.from_edges(16, rng.integers(0, 16, size=(40, 2)))
+        h = g.permute(rng.permutation(16))
+        assert sorted(g.degrees) == sorted(h.degrees)
+
+    def test_non_permutation_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError, match="not a permutation"):
+            g.permute(np.array([0, 0, 1, 2]))
+
+    def test_wrong_length_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError, match="shape"):
+            g.permute(np.arange(3))

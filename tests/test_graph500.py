@@ -1,0 +1,114 @@
+"""Tests of the Graph500 benchmark kernel and its tree validation."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.spmv import bfs_spmv
+from repro.bfs.traditional import bfs_top_down
+from repro.graph500 import (
+    Graph500Report,
+    Graph500Run,
+    ValidationError,
+    run_graph500,
+    validate_bfs_tree,
+)
+from repro.graphs.kronecker import kronecker
+
+from conftest import path_graph, star_graph
+
+
+class TestValidation:
+    def test_valid_tree_passes(self, kron_small):
+        res = bfs_top_down(kron_small, int(np.argmax(kron_small.degrees)))
+        validate_bfs_tree(kron_small, res)
+
+    def test_spmv_trees_pass(self, kron_small):
+        for sem in ("tropical", "sel-max"):
+            res = bfs_spmv(kron_small, 5, sem, C=8, slimwork=True)
+            validate_bfs_tree(kron_small, res)
+
+    def test_missing_parent_rejected(self, kron_small):
+        res = bfs_spmv(kron_small, 0, "tropical", C=8, compute_parents=False)
+        with pytest.raises(ValidationError, match="no parent"):
+            validate_bfs_tree(kron_small, res)
+
+    def test_corrupted_level_rejected(self):
+        g = path_graph(6)
+        res = bfs_top_down(g, 0)
+        res.dist[3] = 7.0  # break the level structure
+        with pytest.raises(ValidationError):
+            validate_bfs_tree(g, res)
+
+    def test_corrupted_parent_rejected(self):
+        g = star_graph(6)
+        res = bfs_top_down(g, 0)
+        res.parent[2] = 3  # leaf parenting a leaf: not one level apart
+        with pytest.raises(ValidationError):
+            validate_bfs_tree(g, res)
+
+    def test_wrong_root_rejected(self):
+        g = path_graph(4)
+        res = bfs_top_down(g, 0)
+        res.parent[0] = 1
+        with pytest.raises(ValidationError, match="rooted"):
+            validate_bfs_tree(g, res)
+
+    def test_nonexistent_tree_edge_rejected(self):
+        g = path_graph(5)
+        res = bfs_top_down(g, 0)
+        res.dist[:] = [0, 1, 1, 2, 2]  # plausible levels
+        res.parent[:] = [0, 0, 0, 1, 1]  # but (2,0) and (4,1) aren't edges
+        with pytest.raises(ValidationError):
+            validate_bfs_tree(g, res)
+
+
+class TestKernel:
+    def test_report_statistics(self):
+        rpt = run_graph500(8, 8, nroots=6, seed=2)
+        assert rpt.n == 256
+        assert len(rpt.runs) == 6
+        assert rpt.harmonic_mean_teps > 0
+        assert rpt.min_teps <= rpt.harmonic_mean_teps <= rpt.max_teps
+        assert rpt.median_time_s > 0
+        assert rpt.construction_time_s > 0
+
+    def test_harmonic_mean_formula(self):
+        rpt = Graph500Report(1, 1, 2, 1, 0.0, runs=[
+            Graph500Run(0, 1.0, 100), Graph500Run(1, 1.0, 300)])
+        # TEPS 100 and 300 -> harmonic mean 150.
+        assert rpt.harmonic_mean_teps == pytest.approx(150.0)
+
+    def test_custom_engine(self):
+        calls = []
+
+        def engine(g, r):
+            calls.append(r)
+            return bfs_top_down(g, r)
+
+        rpt = run_graph500(7, 4, bfs=engine, nroots=4, seed=0)
+        assert len(calls) == 4
+        assert all(run.root in calls for run in rpt.runs)
+
+    def test_roots_have_positive_degree(self):
+        rpt = run_graph500(8, 2, nroots=10, seed=1)  # sparse: isolates exist
+        g = kronecker(8, 2, seed=1)
+        for run in rpt.runs:
+            assert g.degrees[run.root] > 0
+
+    def test_validation_can_be_disabled(self):
+        def broken(g, r):
+            res = bfs_top_down(g, r)
+            res.parent[:] = -1
+            res.parent[r] = r
+            return res
+
+        with pytest.raises(ValidationError):
+            run_graph500(7, 4, bfs=broken, nroots=1, seed=0)
+        rpt = run_graph500(7, 4, bfs=broken, nroots=1, seed=0, validate=False)
+        assert len(rpt.runs) == 1
+
+    def test_empty_report(self):
+        rpt = Graph500Report(1, 1, 2, 1, 0.0)
+        assert rpt.harmonic_mean_teps == 0.0
+        assert rpt.min_teps == 0.0
+        assert rpt.median_time_s == 0.0

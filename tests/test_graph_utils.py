@@ -1,0 +1,70 @@
+"""Tests of graph utilities: components, pseudo-diameter, degree stats."""
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.utils import (
+    connected_components,
+    degree_stats,
+    largest_component,
+    pseudo_diameter,
+)
+
+from conftest import complete_graph, cycle_graph, path_graph, star_graph, two_components
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        lab = connected_components(cycle_graph(6))
+        assert np.all(lab == lab[0])
+
+    def test_two_components_plus_isolate(self):
+        lab = connected_components(two_components())
+        assert len(np.unique(lab)) == 3
+        assert lab[0] == lab[3]       # K4
+        assert lab[4] == lab[7]       # path
+        assert lab[0] != lab[4] != lab[8]
+
+    def test_edgeless(self):
+        lab = connected_components(Graph.empty(4))
+        assert len(np.unique(lab)) == 4
+
+
+class TestLargestComponent:
+    def test_extracts_k4(self):
+        g = largest_component(two_components())
+        assert g.n == 4 and g.m == 6
+
+    def test_connected_graph_unchanged_in_size(self):
+        g = largest_component(cycle_graph(8))
+        assert g.n == 8 and g.m == 8
+
+
+class TestPseudoDiameter:
+    def test_path(self):
+        assert pseudo_diameter(path_graph(17)) == 16
+
+    def test_cycle(self):
+        assert pseudo_diameter(cycle_graph(12)) == 6
+
+    def test_star(self):
+        assert pseudo_diameter(star_graph(20)) == 2
+
+    def test_complete(self):
+        assert pseudo_diameter(complete_graph(5)) == 1
+
+    def test_empty(self):
+        assert pseudo_diameter(Graph.empty(3)) == 0
+        assert pseudo_diameter(Graph.empty(0)) == 0
+
+
+class TestDegreeStats:
+    def test_star(self):
+        s = degree_stats(star_graph(10))
+        assert s.n == 10 and s.m == 9
+        assert s.max == 9
+        assert s.median == 1.0
+
+    def test_empty(self):
+        s = degree_stats(Graph.empty(0))
+        assert s.n == 0 and s.avg == 0.0

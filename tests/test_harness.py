@@ -1,0 +1,53 @@
+"""Tests of the timing/amortization harness (§IV-D)."""
+
+import pytest
+
+from repro.bfs.spmv import BFSSpMV
+from repro.formats.slimsell import SlimSell
+from repro.perf.harness import AmortizationReport, amortization_report, time_bfs
+
+
+class TestTimeBFS:
+    def test_returns_result_and_positive_time(self, kron_small):
+        rep = SlimSell(kron_small, 8)
+        eng = BFSSpMV(rep, "tropical")
+        res, best = time_bfs(lambda: eng.run(0), repeats=2)
+        assert best > 0
+        assert res.reached > 1
+
+    def test_repeats_validation(self, kron_small):
+        with pytest.raises(ValueError, match="repeats"):
+            time_bfs(lambda: None, repeats=0)
+
+
+class TestAmortization:
+    def test_fractions_decrease_with_runs(self):
+        r = AmortizationReport(sort_time_s=0.2, build_time_s=1.0, bfs_time_s=1.0)
+        f = [r.sort_fraction(k) for k in (1, 2, 10, 100)]
+        assert all(b < a for a, b in zip(f, f[1:]))
+        assert r.preprocess_fraction(1) > r.preprocess_fraction(50)
+
+    def test_paper_amortization_shape(self):
+        # §IV-D: sorting ~21% of one BFS run -> 10 runs bring it below ~2%.
+        r = AmortizationReport(sort_time_s=0.21, build_time_s=0.5, bfs_time_s=1.0)
+        assert r.sort_fraction(1) > 0.1
+        assert r.sort_fraction(10) < 0.021
+
+    def test_runs_until_sort_below(self):
+        r = AmortizationReport(sort_time_s=0.2, build_time_s=0.4, bfs_time_s=1.0)
+        k = r.runs_until_sort_below(0.02)
+        assert r.sort_fraction(k) <= 0.02
+        assert k == 1 or r.sort_fraction(k - 1) > 0.02
+
+    def test_zero_times(self):
+        r = AmortizationReport(0.0, 0.0, 0.0)
+        assert r.sort_fraction(5) == 0.0
+        assert r.preprocess_fraction(5) == 0.0
+
+    def test_end_to_end_on_real_rep(self, kron_small):
+        rep = SlimSell(kron_small, 8, kron_small.n)
+        eng = BFSSpMV(rep, "tropical", slimwork=True)
+        rpt = amortization_report(rep, lambda: eng.run(0), repeats=1)
+        assert rpt.build_time_s >= rpt.sort_time_s >= 0
+        assert rpt.bfs_time_s > 0
+        assert 0 < rpt.sort_fraction(1) < 1

@@ -1,0 +1,82 @@
+"""Tests of the push/pull hybrid algebraic BFS (Fig 1's direction-opt curve)."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.hybrid import bfs_hybrid
+from repro.bfs.validate import check_parents_valid, reference_distances
+from repro.formats.sell import SellCSigma
+from repro.formats.slimsell import SlimSell
+from repro.graphs.kronecker import kronecker
+
+from conftest import cycle_graph, path_graph, star_graph, two_components
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("root", [0, 7, 300])
+    def test_matches_reference_on_kronecker(self, kron_small, root):
+        rep = SlimSell(kron_small, 8, kron_small.n)
+        ref = reference_distances(kron_small, root)
+        res = bfs_hybrid(rep, root)
+        same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
+        assert same.all()
+        check_parents_valid(kron_small, res)
+
+    def test_canonical_graphs(self):
+        for g, root in ((path_graph(11), 0), (cycle_graph(9), 4),
+                        (star_graph(8), 3), (two_components(), 0)):
+            rep = SlimSell(g, 4, g.n)
+            ref = reference_distances(g, root)
+            res = bfs_hybrid(rep, root)
+            same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
+            assert same.all()
+
+    def test_works_on_sell_c_sigma_too(self, kron_small):
+        rep = SellCSigma(kron_small, 8, kron_small.n)
+        ref = reference_distances(kron_small, 2)
+        res = bfs_hybrid(rep, 2)
+        same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
+        assert same.all()
+
+    def test_root_out_of_range(self, kron_small):
+        rep = SlimSell(kron_small, 8)
+        with pytest.raises(ValueError, match="out of range"):
+            bfs_hybrid(rep, kron_small.n)
+
+
+class TestDirectionSwitching:
+    def test_dense_graph_pulls_mid_traversal(self):
+        g = kronecker(10, 16, seed=1)
+        rep = SlimSell(g, 8, g.n)
+        res = bfs_hybrid(rep, int(np.argmax(g.degrees)))
+        dirs = [it.direction for it in res.iterations]
+        assert "pull" in dirs
+        assert dirs[0] == "push"  # the root's frontier is tiny
+
+    def test_tiny_alpha_stays_push(self):
+        g = kronecker(9, 8, seed=2)
+        rep = SlimSell(g, 8, g.n)
+        res = bfs_hybrid(rep, 0, alpha=1e-9)
+        assert all(it.direction == "push" for it in res.iterations)
+
+    def test_push_iterations_report_edges_pull_report_chunks(self):
+        g = kronecker(10, 16, seed=3)
+        rep = SlimSell(g, 8, g.n)
+        res = bfs_hybrid(rep, int(np.argmax(g.degrees)))
+        for it in res.iterations:
+            if it.direction == "push":
+                assert it.chunks_processed == 0
+            else:
+                assert it.chunks_processed > 0
+                assert it.edges_examined == 0
+
+    def test_pull_uses_slimwork_pruning(self):
+        g = kronecker(10, 16, seed=4)
+        rep = SlimSell(g, 8, g.n)
+        res = bfs_hybrid(rep, int(np.argmax(g.degrees)))
+        pulls = [it for it in res.iterations if it.direction == "pull"]
+        assert pulls and any(it.chunks_skipped > 0 for it in pulls)
+
+    def test_method_label(self, kron_small):
+        rep = SlimSell(kron_small, 8)
+        assert bfs_hybrid(rep, 0).method == "spmv-hybrid"

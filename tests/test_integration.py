@@ -1,0 +1,107 @@
+"""End-to-end integration scenarios spanning the whole library."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bfs.validate import check_parents_valid, reference_distances
+from repro.graphs.io import load_npz, save_npz
+from repro.perf.costmodel import model_bfs_result
+from repro.sched.scheduling import imbalance, schedule_dynamic
+from repro.bfs.slimchunk import make_work_units, unit_costs
+
+
+class TestFullPipeline:
+    def test_generate_persist_traverse_validate(self, tmp_path):
+        """The complete user journey: generate → save → load → build →
+        traverse with every engine → validate → account storage → model."""
+        g = repro.kronecker(9, 8, seed=101)
+        path = tmp_path / "workload.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+        assert g2 == g
+
+        root = int(np.argmax(g2.degrees))
+        ref = reference_distances(g2, root)
+        rep = repro.SlimSell(g2, C=16, sigma=g2.n)
+
+        results = {
+            "spmv": repro.BFSSpMV(rep, "sel-max", slimwork=True).run(root),
+            "hybrid": repro.bfs_hybrid(rep, root),
+            "spmspv": repro.bfs_spmspv(g2, root, "tropical"),
+            "trad": repro.bfs_top_down(g2, root),
+            "diropt": repro.bfs_direction_optimizing(g2, root),
+        }
+        for name, res in results.items():
+            same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
+            assert same.all(), name
+            check_parents_valid(g2, res)
+
+        report = repro.storage_report(g2, C=16, sigma=g2.n)
+        assert report.slimsell_cells < report.sell_cells
+
+        counted = repro.BFSSpMV(rep, "tropical", counting=True).run(root)
+        for machine in repro.MACHINES.values():
+            times = model_bfs_result(machine, counted)
+            assert all(t.t_total > 0 for t in times)
+
+    def test_analysis_pipeline(self):
+        """Centrality + connectivity + PageRank over one shared rep."""
+        g = repro.realworld_proxy("epi", downscale=64, seed=3)
+        rep = repro.SlimSell(g, C=8, sigma=g.n)
+        labels = repro.components_via_bfs(rep)
+        pr = repro.pagerank(rep)
+        bc = repro.betweenness_centrality(
+            rep, sources=np.arange(0, g.n, max(1, g.n // 16)))
+        assert labels.shape == pr.shape == bc.shape == (g.n,)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-8)
+        # The largest component's hub dominates both centralities' tails.
+        hub = int(np.argmax(g.degrees))
+        assert pr[hub] > np.median(pr)
+
+    def test_scheduling_feeds_cost_model(self):
+        """SlimChunk units → dynamic schedule → balance factor → model."""
+        g = repro.kronecker(10, 16, seed=7)
+        rep = repro.SlimSell(g, 32, g.n)
+        units = make_work_units(rep.cl, 4)
+        costs = unit_costs(units, 32)
+        sched = schedule_dynamic(costs, 13)
+        bal = imbalance(sched)
+        assert 1.0 <= bal < 1.5  # split units balance well
+
+        root = int(np.argmax(g.degrees))
+        res = repro.BFSSpMV(rep, "tropical", counting=True,
+                            slimchunk=4).run(root)
+        gpu = repro.get_machine("tesla-k80")
+        times = model_bfs_result(gpu, res, balance=bal)
+        assert sum(t.t_total for t in times) > 0
+
+    def test_weighted_and_unweighted_agree_on_unit_weights(self):
+        from repro.apps.sssp import sssp_spmv
+        from repro.formats.weighted import WeightedSellCSigma, sssp_chunked
+
+        g = repro.kronecker(8, 6, seed=5)
+        w = np.ones(g.m)
+        root = int(np.argmax(g.degrees))
+        bfs = repro.bfs_spmv(g, root, "tropical", C=8)
+        sp1 = sssp_spmv(g, w, root)
+        sp2 = sssp_chunked(WeightedSellCSigma(g, w, C=8), root)
+        for other in (sp1.dist, sp2.dist):
+            same = (bfs.dist == other) | (np.isinf(bfs.dist) & np.isinf(other))
+            assert same.all()
+
+    def test_graph500_with_hybrid_engine(self):
+        from repro.graph500 import run_graph500
+
+        g_holder = {}
+
+        def engine(g, r):
+            rep = g_holder.get("rep")
+            if rep is None or rep.graph_original is not g:
+                rep = repro.SlimSell(g, 8, g.n)
+                g_holder["rep"] = rep
+            return repro.bfs_hybrid(rep, r)
+
+        rpt = run_graph500(8, 8, bfs=engine, nroots=4, seed=11)
+        assert rpt.harmonic_mean_teps > 0
+        assert len(rpt.runs) == 4

@@ -1,0 +1,76 @@
+"""Tests of graph I/O (edge lists and binary containers)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.io import load_edgelist, load_npz, save_edgelist, save_npz
+from repro.graphs.kronecker import kronecker
+
+from conftest import path_graph, two_components
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = kronecker(7, 4, seed=0)
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        assert load_edgelist(path, n=g.n) == g
+
+    def test_header_comments_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n# another\n0\t1\n1\t2\n")
+        g = load_edgelist(path)
+        assert g.n == 3 and g.m == 2
+
+    def test_isolated_tail_vertices_need_explicit_n(self, tmp_path):
+        g = two_components()  # vertex 8 isolated
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        assert load_edgelist(path).n == 8  # inferred: isolate lost
+        assert load_edgelist(path, n=9) == g
+
+    def test_n_too_small_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edgelist(path_graph(5), path)
+        with pytest.raises(ValueError, match="smaller than max vertex id"):
+            load_edgelist(path, n=3)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        g = load_edgelist(path, n=4)
+        assert g.n == 4 and g.m == 0
+
+    def test_bad_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="two columns"):
+            load_edgelist(path)
+
+    def test_no_header_mode(self, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edgelist(path_graph(3), path, header=False)
+        assert not path.read_text().startswith("#")
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        g = kronecker(8, 8, seed=1)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        h = load_npz(path)
+        assert h == g
+
+    def test_preserves_isolates(self, tmp_path):
+        g = two_components()
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path).n == 9
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "e.npz"
+        save_npz(Graph.empty(5), path)
+        h = load_npz(path)
+        assert h.n == 5 and h.m == 0
+        assert np.isfinite(h.indptr).all()

@@ -1,0 +1,62 @@
+"""Tests of the seven machine descriptors (§IV experimental setup)."""
+
+import pytest
+
+from repro.vec.machine import MACHINES, Machine, get_machine
+
+
+class TestRegistry:
+    def test_seven_systems_registered(self):
+        # The paper evaluates "the total of seven different systems".
+        assert len(MACHINES) == 7
+
+    def test_expected_names(self):
+        assert set(MACHINES) == {
+            "dora", "knl", "tesla-k80", "tesla-k20x",
+            "trivium-haswell", "gtx670", "greina-xeon",
+        }
+
+    def test_get_machine_roundtrip(self):
+        for name in MACHINES:
+            assert get_machine(name).name == name
+
+    def test_get_machine_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown machine"):
+            get_machine("cray-1")
+
+
+class TestArchitecturalInvariants:
+    def test_simd_widths_match_paper(self):
+        # 32-bit ids: AVX2 CPUs C=8, KNL C=16, GPU warp C=32 (§IV-A).
+        assert get_machine("dora").simd_width == 8
+        assert get_machine("trivium-haswell").simd_width == 8
+        assert get_machine("greina-xeon").simd_width == 8
+        assert get_machine("knl").simd_width == 16
+        for gpu in ("tesla-k80", "tesla-k20x", "gtx670"):
+            assert get_machine(gpu).simd_width == 32
+
+    def test_kinds(self):
+        kinds = {m.kind for m in MACHINES.values()}
+        assert kinds == {"cpu", "manycore", "gpu"}
+
+    def test_gpus_pay_scalar_penalty(self):
+        # Fine-grained scalar BFS underutilizes warps; CPUs do not.
+        for m in MACHINES.values():
+            if m.kind == "gpu":
+                assert m.scalar_penalty > 2
+            if m.kind == "cpu":
+                assert m.scalar_penalty == 1.0
+
+    def test_knl_has_highest_bandwidth(self):
+        # MCDRAM: the KNL is the bandwidth king of the testbed.
+        knl = get_machine("knl")
+        assert all(knl.bandwidth_gbs >= m.bandwidth_gbs for m in MACHINES.values())
+
+    def test_throughput_properties(self):
+        m = Machine("toy", "cpu", simd_width=4, units=2, ghz=1.0, bandwidth_gbs=10)
+        assert m.vector_throughput == 2e9
+        assert m.lane_throughput == 8e9
+
+    def test_descriptors_are_frozen(self):
+        with pytest.raises(AttributeError):
+            get_machine("knl").simd_width = 64

@@ -1,0 +1,68 @@
+"""Tests of the generic SlimSpMV operator."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.operator import SlimSpMV
+from repro.formats.csr import CSRMatrix
+from repro.formats.sell import SellCSigma
+from repro.formats.slimsell import SlimSell
+from repro.semirings.base import get_semiring
+
+from conftest import SEMIRING_NAMES, path_graph, star_graph
+
+
+class TestAgainstCSRReference:
+    @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
+    @pytest.mark.parametrize("slim", [True, False], ids=["slimsell", "sell"])
+    def test_matches_csr_spmv(self, kron_small, semiring, slim):
+        g = kron_small
+        rep = (SlimSell if slim else SellCSigma)(g, 8, 64)
+        sr = get_semiring(semiring)
+        op = SlimSpMV(rep, sr)
+        rng = np.random.default_rng(0)
+        if semiring == "tropical":
+            x = rng.choice([0.0, 1.0, 2.0, np.inf], size=g.n)
+        elif semiring == "boolean":
+            x = rng.integers(0, 2, size=g.n).astype(float)
+        else:
+            x = rng.random(g.n) * 4
+        want = CSRMatrix(g).spmv(sr, x)
+        got = op(x)
+        np.testing.assert_allclose(got, want)
+
+    def test_real_matches_scipy(self, kron_small):
+        g = kron_small
+        op = SlimSpMV(SlimSell(g, 16, g.n), "real")
+        x = np.random.default_rng(1).random(g.n)
+        np.testing.assert_allclose(op(x), g.to_scipy() @ x, rtol=1e-12)
+
+
+class TestSemantics:
+    def test_operates_in_original_id_space(self):
+        # Star graph, full sort: the hub gets relabeled, but the caller's
+        # view must be unchanged: y[hub] = sum of leaf values.
+        g = star_graph(6)
+        op = SlimSpMV(SlimSell(g, 4, g.n), "real")
+        x = np.array([0.0, 1, 2, 3, 4, 5])
+        y = op(x)
+        assert y[0] == 15.0          # hub collects all leaves
+        assert np.array_equal(y[1:], np.zeros(5))  # leaves see hub's 0
+
+    def test_power_iterate(self):
+        g = path_graph(5)
+        op = SlimSpMV(SlimSell(g, 4, g.n), "boolean")
+        x0 = np.zeros(5)
+        x0[0] = 1.0
+        # After k steps of OR-AND the indicator covers distance <= k parity
+        y = op.power_iterate(x0, 4)
+        assert y[4] == 1.0
+
+    def test_shape_validation(self, kron_small):
+        op = SlimSpMV(SlimSell(kron_small, 8), "real")
+        with pytest.raises(ValueError, match="shape"):
+            op(np.zeros(3))
+
+    def test_n_property(self, kron_small):
+        op = SlimSpMV(SlimSell(kron_small, 8), "real")
+        assert op.n == kron_small.n

@@ -1,0 +1,65 @@
+"""Tests of the terminal plotting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.plot import ascii_bars, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_legend(self):
+        out = ascii_plot({"a": [1, 2, 3], "b": [3, 2, 1]}, width=20, height=6)
+        assert "*" in out and "o" in out
+        assert "* a" in out and "o b" in out
+
+    def test_title_and_xlabel(self):
+        out = ascii_plot({"s": [1, 2]}, title="T", xlabel="iteration")
+        assert out.splitlines()[0] == "T"
+        assert "iteration" in out
+
+    def test_empty(self):
+        assert ascii_plot({}) == "(empty plot)"
+        assert ascii_plot({"a": []}) == "(empty plot)"
+
+    def test_infinite_values_skipped(self):
+        out = ascii_plot({"a": [1.0, np.inf, 3.0]}, width=12, height=4)
+        assert "*" in out
+
+    def test_all_infinite(self):
+        assert ascii_plot({"a": [np.inf]}) == "(no finite data)"
+
+    def test_constant_series(self):
+        out = ascii_plot({"a": [5, 5, 5]}, width=10, height=4)
+        assert "*" in out  # no division by zero
+
+    def test_logy(self):
+        out = ascii_plot({"a": [1e-6, 1e-3, 1.0]}, logy=True, height=5)
+        assert "1e0.0" in out
+
+    def test_logy_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_plot({"a": [0.0, 1.0]}, logy=True)
+
+    def test_dimensions_respected(self):
+        out = ascii_plot({"a": list(range(50))}, width=30, height=8)
+        body = [ln for ln in out.splitlines() if "|" in ln]
+        assert len(body) == 8
+        assert all(len(ln.split("|", 1)[1]) <= 30 for ln in body)
+
+
+class TestAsciiBars:
+    def test_proportional_bars(self):
+        out = ascii_bars({"x": 1.0, "y": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        out = ascii_bars({"x": 0.0})
+        assert "#" not in out
+
+    def test_empty(self):
+        assert ascii_bars({}) == "(empty chart)"
+
+    def test_title(self):
+        assert ascii_bars({"x": 1.0}, title="sizes").startswith("sizes")

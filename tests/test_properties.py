@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bfs.dp import dp_transform
+from repro.bfs.spmv import bfs_spmv
+from repro.bfs.traditional import bfs_serial, bfs_top_down
+from repro.bfs.validate import check_parents_valid, reference_distances
+from repro.formats.sell import SellCSigma, sigma_sort_permutation
+from repro.formats.slimsell import SlimSell
+from repro.formats.storage import formula_cells, storage_report
+from repro.graphs.erdos_renyi import _pairs_from_ranks
+from repro.graphs.graph import Graph
+
+SETTINGS = dict(deadline=None, max_examples=25,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def random_graph(draw, max_n=40, max_m=120):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    return Graph.from_edges(n, edges)
+
+
+class TestBFSEquivalence:
+    @given(g=random_graph(), root_frac=st.floats(0, 0.999),
+           c=st.sampled_from([1, 2, 4, 8]),
+           semiring=st.sampled_from(["tropical", "real", "boolean", "sel-max"]),
+           slim=st.booleans(), slimwork=st.booleans())
+    @settings(**SETTINGS)
+    def test_spmv_matches_reference(self, g, root_frac, c, semiring, slim, slimwork):
+        root = int(root_frac * g.n)
+        ref = reference_distances(g, root)
+        res = bfs_spmv(g, root, semiring, C=c, slim=slim, slimwork=slimwork)
+        assert ((res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))).all()
+        check_parents_valid(g, res)
+
+    @given(g=random_graph(), root_frac=st.floats(0, 0.999))
+    @settings(**SETTINGS)
+    def test_traditional_matches_serial(self, g, root_frac):
+        root = int(root_frac * g.n)
+        a = bfs_serial(g, root)
+        b = bfs_top_down(g, root)
+        np.testing.assert_array_equal(a.dist, b.dist)
+
+    @given(g=random_graph(max_n=24, max_m=60), root_frac=st.floats(0, 0.999),
+           semiring=st.sampled_from(["tropical", "real", "boolean", "sel-max"]))
+    @settings(**SETTINGS)
+    def test_chunk_engine_equals_layer_engine(self, g, root_frac, semiring):
+        root = int(root_frac * g.n)
+        a = bfs_spmv(g, root, semiring, C=4, engine="chunk")
+        b = bfs_spmv(g, root, semiring, C=4, engine="layer")
+        np.testing.assert_array_equal(a.dist, b.dist)
+        np.testing.assert_array_equal(a.parent, b.parent)
+
+
+class TestStructuralInvariants:
+    @given(g=random_graph(), c=st.sampled_from([1, 2, 4, 8]),
+           sigma_frac=st.floats(0, 1))
+    @settings(**SETTINGS)
+    def test_sell_layout_conserves_edges(self, g, c, sigma_frac):
+        sigma = max(1, int(sigma_frac * g.n))
+        s = SellCSigma(g, c, sigma)
+        # Edge slots = 2m; padding is everything else; cs/cl consistent.
+        assert s.total_slots - s.padding_slots == 2 * g.m
+        assert int((s.cl * s.C).sum()) == s.total_slots
+        assert s.N >= g.n
+
+    @given(g=random_graph(), c=st.sampled_from([2, 4, 8]))
+    @settings(**SETTINGS)
+    def test_storage_formulas_exact(self, g, c):
+        rep = storage_report(g, c, sigma=g.n)
+        f = formula_cells(g.n, g.m, c, rep.padding_slots)
+        assert (rep.csr_cells, rep.al_cells, rep.sell_cells, rep.slimsell_cells) == (
+            f["csr"], f["al"], f["sell"], f["slimsell"])
+
+    @given(degrees=st.lists(st.integers(0, 50), min_size=1, max_size=60),
+           sigma=st.integers(1, 70))
+    @settings(**SETTINGS)
+    def test_sigma_sort_is_permutation_and_window_local(self, degrees, sigma):
+        deg = np.array(degrees, dtype=np.int64)
+        perm = sigma_sort_permutation(deg, sigma)
+        assert np.array_equal(np.sort(perm), np.arange(deg.size))
+        s = min(max(sigma, 1), deg.size)
+        for v, newid in enumerate(perm):
+            assert v // s == newid // s  # never leaves its window
+
+    @given(g=random_graph(), seed=st.integers(0, 2**31 - 1))
+    @settings(**SETTINGS)
+    def test_permute_preserves_isomorphism(self, g, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(g.n)
+        h = g.permute(perm)
+        assert h.m == g.m
+        e = g.edges()
+        if e.size:
+            sub = e[rng.integers(0, e.shape[0], size=min(10, e.shape[0]))]
+            for u, v in sub:
+                assert h.has_edge(int(perm[u]), int(perm[v]))
+
+
+class TestDPProperty:
+    @given(g=random_graph(), root_frac=st.floats(0, 0.999))
+    @settings(**SETTINGS)
+    def test_dp_yields_valid_tree(self, g, root_frac):
+        root = int(root_frac * g.n)
+        dist = reference_distances(g, root)
+        parent = dp_transform(g, dist)
+        for v in range(g.n):
+            if not np.isfinite(dist[v]):
+                assert parent[v] == -1
+            elif v == root:
+                assert parent[v] == root
+            else:
+                assert dist[parent[v]] == dist[v] - 1
+                assert g.has_edge(v, int(parent[v]))
+
+
+class TestUnranking:
+    @given(n=st.integers(2, 2000), seed=st.integers(0, 2**31 - 1))
+    @settings(**SETTINGS)
+    def test_pairs_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        total = n * (n - 1) // 2
+        ranks = rng.integers(0, total, size=min(total, 50), dtype=np.int64)
+        pairs = _pairs_from_ranks(ranks, n)
+        u, v = pairs[:, 0], pairs[:, 1]
+        assert (u < v).all() and (u >= 0).all() and (v < n).all()
+        rerank = u * (2 * n - u - 1) // 2 + (v - u - 1)
+        assert np.array_equal(rerank, ranks)

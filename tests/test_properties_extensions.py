@@ -1,0 +1,110 @@
+"""Property-based tests for the extension subsystems."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.sssp import sssp_dijkstra, sssp_spmv
+from repro.bfs.hybrid import bfs_hybrid
+from repro.bfs.spmspv import bfs_spmspv
+from repro.bfs.validate import reference_distances
+from repro.dist.bfs1d import bfs_dist_1d
+from repro.dist.bfs2d import bfs_dist_2d
+from repro.dist.network import CRAY_ARIES
+from repro.dist.partition import Partition1D
+from repro.formats.slimsell import SlimSell
+from repro.graphs.graph import Graph
+from repro.vec.machine import get_machine
+
+SETTINGS = dict(deadline=None, max_examples=20,
+                suppress_health_check=[HealthCheck.too_slow])
+KNL = get_machine("knl")
+
+
+@st.composite
+def random_graph(draw, max_n=30, max_m=90):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return Graph.from_edges(n, rng.integers(0, n, size=(m, 2)))
+
+
+def _same(dist, ref):
+    return ((dist == ref) | (np.isinf(dist) & np.isinf(ref))).all()
+
+
+class TestHybridProperty:
+    @given(g=random_graph(), root_frac=st.floats(0, 0.999),
+           alpha=st.floats(0.1, 100.0))
+    @settings(**SETTINGS)
+    def test_any_alpha_is_exact(self, g, root_frac, alpha):
+        root = int(root_frac * g.n)
+        rep = SlimSell(g, 4, g.n)
+        res = bfs_hybrid(rep, root, alpha=alpha)
+        assert _same(res.dist, reference_distances(g, root))
+
+
+class TestSpMSpVProperty:
+    @given(g=random_graph(), root_frac=st.floats(0, 0.999),
+           merge=st.sampled_from(["nosort", "sort", "radix"]),
+           semiring=st.sampled_from(["tropical", "boolean", "sel-max"]))
+    @settings(**SETTINGS)
+    def test_exact(self, g, root_frac, merge, semiring):
+        root = int(root_frac * g.n)
+        res = bfs_spmspv(g, root, semiring, merge=merge)
+        assert _same(res.dist, reference_distances(g, root))
+
+
+class TestDistributedProperty:
+    @given(g=random_graph(), root_frac=st.floats(0, 0.999),
+           ranks=st.integers(1, 6), balanced=st.booleans())
+    @settings(**SETTINGS)
+    def test_1d_exact_for_any_partition(self, g, root_frac, ranks, balanced):
+        root = int(root_frac * g.n)
+        rep = SlimSell(g, 4, g.n)
+        part = (Partition1D.balanced(rep.cl, ranks) if balanced
+                else Partition1D.blocks(rep.nc, ranks))
+        res = bfs_dist_1d(rep, root, part, KNL, CRAY_ARIES)
+        assert _same(res.dist, reference_distances(g, root))
+
+    @given(g=random_graph(max_n=20, max_m=50), root_frac=st.floats(0, 0.999),
+           r=st.integers(1, 3), c=st.integers(1, 3))
+    @settings(**SETTINGS)
+    def test_2d_exact_for_any_grid(self, g, root_frac, r, c):
+        root = int(root_frac * g.n)
+        rep = SlimSell(g, 4, g.n)
+        res = bfs_dist_2d(rep, root, (r, c), KNL, CRAY_ARIES)
+        assert _same(res.dist, reference_distances(g, root))
+
+
+class TestSSSPProperty:
+    @given(g=random_graph(), root_frac=st.floats(0, 0.999),
+           wseed=st.integers(0, 2**31 - 1))
+    @settings(**SETTINGS)
+    def test_spmv_equals_dijkstra(self, g, root_frac, wseed):
+        root = int(root_frac * g.n)
+        rng = np.random.default_rng(wseed)
+        w = rng.uniform(0.01, 10.0, size=g.m)
+        a = sssp_spmv(g, w, root)
+        b = sssp_dijkstra(g, w, root)
+        fin = np.isfinite(a.dist)
+        assert np.array_equal(fin, np.isfinite(b.dist))
+        np.testing.assert_allclose(a.dist[fin], b.dist[fin])
+
+    @given(g=random_graph(), root_frac=st.floats(0, 0.999),
+           wseed=st.integers(0, 2**31 - 1))
+    @settings(**SETTINGS)
+    def test_triangle_inequality_on_edges(self, g, root_frac, wseed):
+        # dist is a shortest-path metric: no edge can shortcut it.
+        root = int(root_frac * g.n)
+        rng = np.random.default_rng(wseed)
+        w = rng.uniform(0.01, 10.0, size=g.m)
+        dist = sssp_spmv(g, w, root).dist
+        from repro.apps.sssp import expand_edge_weights
+
+        wd = expand_edge_weights(g, w)
+        src = np.repeat(np.arange(g.n, dtype=np.int64), g.degrees)
+        nbr = g.indices.astype(np.int64)
+        fin = np.isfinite(dist[src]) & np.isfinite(dist[nbr])
+        assert np.all(dist[nbr][fin] <= dist[src][fin] + wd[fin] + 1e-9)

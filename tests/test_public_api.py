@@ -1,0 +1,55 @@
+"""Smoke tests of the public package API."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module", [
+        "repro.vec", "repro.vec.ops", "repro.vec.machine", "repro.vec.counters",
+        "repro.graphs", "repro.graphs.graph", "repro.graphs.kronecker",
+        "repro.graphs.erdos_renyi", "repro.graphs.realworld", "repro.graphs.utils",
+        "repro.formats", "repro.formats.csr", "repro.formats.adjacency_list",
+        "repro.formats.sell", "repro.formats.slimsell", "repro.formats.storage",
+        "repro.semirings", "repro.semirings.tropical", "repro.semirings.real",
+        "repro.semirings.boolean", "repro.semirings.selmax",
+        "repro.bfs", "repro.bfs.spmv", "repro.bfs.spmspv",
+        "repro.bfs.operator", "repro.bfs.traditional",
+        "repro.bfs.direction_opt", "repro.bfs.dp", "repro.bfs.slimchunk",
+        "repro.bfs.result", "repro.bfs.validate",
+        "repro.formats.ellpack", "repro.graphs.io",
+        "repro.apps", "repro.apps.betweenness", "repro.apps.pagerank",
+        "repro.apps.connectivity", "repro.apps.sssp", "repro.cli",
+        "repro.bfs.hybrid", "repro.graph500", "repro.plot",
+        "repro.formats.weighted", "repro.semirings.axioms",
+        "repro.dist", "repro.dist.partition", "repro.dist.network",
+        "repro.dist.bfs1d", "repro.dist.bfs2d",
+        "repro.sched", "repro.sched.scheduling",
+        "repro.perf", "repro.perf.costmodel", "repro.perf.harness",
+        "repro.analysis", "repro.analysis.complexity",
+    ])
+    def test_submodules_import(self, module):
+        importlib.import_module(module)
+
+    def test_quickstart_flow(self):
+        g = repro.kronecker(8, 6, seed=0)
+        res = repro.bfs_spmv(g, 0, "sel-max", C=8, slimwork=True)
+        assert res.reached > 1
+        baseline = repro.bfs_top_down(g, 0)
+        assert baseline.reached == res.reached
+
+    def test_docstrings_present_on_public_entry_points(self):
+        for name in ("bfs_spmv", "BFSSpMV", "SellCSigma", "SlimSell",
+                     "kronecker", "erdos_renyi", "storage_report"):
+            obj = getattr(repro, name)
+            assert obj.__doc__ and len(obj.__doc__) > 40, name

@@ -1,0 +1,94 @@
+"""Tests of the Table IV registry and the real-world proxy generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.realworld import (
+    REALWORLD_REGISTRY,
+    chung_lu,
+    community_path,
+    grid_road,
+    realworld_proxy,
+)
+from repro.graphs.utils import pseudo_diameter
+
+
+class TestRegistry:
+    def test_all_ten_table_iv_graphs(self):
+        assert set(REALWORLD_REGISTRY) == {
+            "orc", "pok", "epi", "ljn", "brk", "gog", "sta", "ndm", "amz", "rca",
+        }
+
+    def test_published_stats_recorded(self):
+        orc = REALWORLD_REGISTRY["orc"]
+        assert orc.n == 3_070_000 and orc.rho == 39.0 and orc.diameter == 9
+        rca = REALWORLD_REGISTRY["rca"]
+        assert rca.kind == "road" and rca.rho == 1.4 and rca.diameter == 849
+
+    def test_rho_consistent_with_n_m(self):
+        # The paper's rho is m/n; published numbers agree within rounding.
+        for spec in REALWORLD_REGISTRY.values():
+            assert spec.m / spec.n == pytest.approx(spec.rho, rel=0.12)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown real-world graph"):
+            realworld_proxy("snap")
+
+
+class TestChungLu:
+    def test_edge_count_close_to_target(self):
+        g = chung_lu(1000, 5000, beta=2.3, seed=0)
+        assert 0.9 * 5000 <= g.m <= 5000
+
+    def test_heavy_tail(self):
+        g = chung_lu(2000, 10000, beta=2.1, seed=1)
+        assert g.max_degree > 8 * g.avg_degree
+
+    def test_tiny_inputs(self):
+        assert chung_lu(1, 0, 2.3).n == 1
+        assert chung_lu(0, 0, 2.3).n == 0
+
+    def test_determinism(self):
+        assert chung_lu(200, 800, 2.3, seed=5) == chung_lu(200, 800, 2.3, seed=5)
+
+
+class TestGridRoad:
+    def test_low_uniform_degree(self):
+        g = grid_road(1024, rho=1.4, seed=0)
+        assert g.max_degree <= 4
+        assert g.m / g.n == pytest.approx(1.4, rel=0.15)
+
+    def test_high_diameter(self):
+        g = grid_road(900, rho=1.9, seed=0)  # near-full grid
+        assert pseudo_diameter(g) > np.sqrt(g.n)
+
+
+class TestCommunityPath:
+    def test_diameter_scales_with_communities(self):
+        few = community_path(800, 3200, 2.3, communities=2, seed=0)
+        many = community_path(800, 3200, 2.3, communities=32, seed=0)
+        assert pseudo_diameter(many) > 2 * pseudo_diameter(few)
+
+    def test_single_community_is_chung_lu(self):
+        g = community_path(500, 2000, 2.3, communities=1, seed=4)
+        assert g == chung_lu(500, 2000, 2.3, seed=4)
+
+
+class TestProxies:
+    @pytest.mark.parametrize("gid", sorted(REALWORLD_REGISTRY))
+    def test_proxy_matches_density(self, gid):
+        spec = REALWORLD_REGISTRY[gid]
+        g = realworld_proxy(gid, downscale=256, seed=0)
+        assert g.n >= 16
+        # m/n ratio within a factor ~2 of the published value (dedup losses).
+        assert g.m / g.n == pytest.approx(spec.rho, rel=0.6)
+
+    def test_social_proxy_low_diameter_web_proxy_high(self):
+        soc = realworld_proxy("pok", downscale=256, seed=0)
+        web = realworld_proxy("ndm", downscale=256, seed=0)
+        assert pseudo_diameter(web) > 4 * pseudo_diameter(soc)
+
+    def test_road_proxy_regime(self):
+        g = realworld_proxy("rca", downscale=1024, seed=0)
+        assert g.max_degree <= 4
+        assert pseudo_diameter(g) > 20

@@ -1,0 +1,90 @@
+"""Tests of the static/dynamic scheduling simulator (omp-s / omp-d)."""
+
+import numpy as np
+import pytest
+
+from repro.sched.scheduling import imbalance, schedule_dynamic, schedule_static
+
+
+class TestStatic:
+    def test_uniform_costs_balance_perfectly(self):
+        s = schedule_static(np.ones(16), 4)
+        assert np.allclose(s.per_thread, 4.0)
+        assert s.makespan == 4.0
+        assert imbalance(s) == pytest.approx(1.0)
+
+    def test_contiguous_blocks(self):
+        s = schedule_static(np.ones(8), 2)
+        assert s.assignment.tolist() == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_skewed_front_loads_first_thread(self):
+        # Fig 5a effect: descending costs + static blocks overload thread 0.
+        costs = np.array([100.0, 90, 80, 1, 1, 1, 1, 1])
+        s = schedule_static(costs, 4)
+        assert s.per_thread[0] == 190.0
+        assert imbalance(s) > 2.0
+
+    def test_work_conserved(self):
+        rng = np.random.default_rng(0)
+        costs = rng.random(37)
+        s = schedule_static(costs, 5)
+        assert s.total == pytest.approx(costs.sum())
+
+    def test_more_threads_than_units(self):
+        s = schedule_static(np.ones(2), 8)
+        assert s.makespan == 1.0
+        assert (s.per_thread > 0).sum() == 2
+
+    def test_empty_units(self):
+        s = schedule_static(np.empty(0), 4)
+        assert s.makespan == 0.0
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError, match="threads"):
+            schedule_static(np.ones(4), 0)
+
+
+class TestDynamic:
+    def test_balances_skewed_costs(self):
+        costs = np.array([100.0, 90, 80, 1, 1, 1, 1, 1])
+        stat = schedule_static(costs, 4)
+        dyn = schedule_dynamic(costs, 4, dispatch_overhead=0.0)
+        assert dyn.makespan < stat.makespan
+
+    def test_overhead_charged(self):
+        costs = np.ones(10)
+        free = schedule_dynamic(costs, 2, dispatch_overhead=0.0)
+        taxed = schedule_dynamic(costs, 2, dispatch_overhead=0.02)
+        # ~1-2% relative overhead, as the paper reports for omp-d.
+        assert taxed.total == pytest.approx(free.total * 1.02)
+        assert taxed.overhead == pytest.approx(0.2)
+
+    def test_work_conserved_modulo_overhead(self):
+        rng = np.random.default_rng(1)
+        costs = rng.random(64)
+        s = schedule_dynamic(costs, 8, dispatch_overhead=0.0)
+        assert s.total == pytest.approx(costs.sum())
+
+    def test_single_thread_serializes(self):
+        costs = np.array([3.0, 1.0, 2.0])
+        s = schedule_dynamic(costs, 1, dispatch_overhead=0.0)
+        assert s.makespan == pytest.approx(6.0)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError, match="threads"):
+            schedule_dynamic(np.ones(4), -1)
+
+
+class TestImbalance:
+    def test_perfect_is_one(self):
+        assert imbalance(schedule_static(np.ones(8), 4)) == pytest.approx(1.0)
+
+    def test_zero_work(self):
+        assert imbalance(schedule_static(np.zeros(4), 2)) == 1.0
+
+    def test_bounded_by_thread_count(self):
+        # makespan/mean <= T always (one thread does everything).
+        rng = np.random.default_rng(2)
+        for t in (2, 4, 8):
+            s = schedule_static(rng.random(40), t)
+            assert 1.0 <= imbalance(s) <= t + 1e-9

@@ -1,0 +1,173 @@
+"""Unit tests of the semiring algebra and BFS state semantics (§III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.semirings import SEMIRINGS
+from repro.semirings.base import get_semiring
+from repro.semirings.real import PATH_COUNT_CLIP
+
+
+class TestRegistry:
+    def test_four_semirings(self):
+        assert set(SEMIRINGS) == {"tropical", "real", "boolean", "sel-max"}
+
+    @pytest.mark.parametrize("alias", ["sel-max", "selmax", "sel_max", "SEL-MAX"])
+    def test_selmax_aliases(self, alias):
+        assert get_semiring(alias).name == "sel-max"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown semiring"):
+            get_semiring("minplusmax")
+
+
+class TestAlgebraicIdentities:
+    """⊕ identity, ⊗ annihilation of padding — on representative values."""
+
+    samples = {
+        "tropical": np.array([0.0, 1.0, 5.0, np.inf]),
+        "real": np.array([0.0, 1.0, 2.0, 117.0]),
+        "boolean": np.array([0.0, 1.0]),
+        "sel-max": np.array([0.0, 1.0, 7.0, 64.0]),
+    }
+
+    @pytest.mark.parametrize("name", sorted(SEMIRINGS))
+    def test_add_identity(self, name):
+        sr = get_semiring(name)
+        x = self.samples[name]
+        np.testing.assert_array_equal(sr.add(x, np.full_like(x, sr.zero)), x)
+
+    @pytest.mark.parametrize("name", sorted(SEMIRINGS))
+    def test_pad_annihilates(self, name):
+        # pad_value ⊗ x must be absorbed by ⊕ accumulation for all x in range.
+        sr = get_semiring(name)
+        x = self.samples[name]
+        contrib = sr.mul(np.full_like(x, sr.pad_value), x)
+        np.testing.assert_array_equal(sr.add(x, contrib), x)
+
+    @pytest.mark.parametrize("name", sorted(SEMIRINGS))
+    def test_add_commutative_associative(self, name):
+        sr = get_semiring(name)
+        rng = np.random.default_rng(1)
+        a, b, c = (rng.choice(self.samples[name], size=16) for _ in range(3))
+        np.testing.assert_array_equal(sr.add(a, b), sr.add(b, a))
+        np.testing.assert_array_equal(sr.add(sr.add(a, b), c), sr.add(a, sr.add(b, c)))
+
+    @pytest.mark.parametrize("name", sorted(SEMIRINGS))
+    def test_values_from_edge_mask(self, name):
+        sr = get_semiring(name)
+        v = sr.values_from_edge_mask(np.array([True, False, True]))
+        assert v[0] == sr.edge_value and v[2] == sr.edge_value
+        assert v[1] == sr.pad_value or (np.isinf(v[1]) and np.isinf(sr.pad_value))
+
+
+class TestInitStates:
+    def test_tropical_init(self):
+        st = get_semiring("tropical").init_state(5, 8, root=2)
+        assert st.f[2] == 0.0
+        assert np.isinf(st.f[[0, 1, 3, 4]]).all()
+        assert np.isinf(st.f[5:]).all()  # virtual rows
+
+    def test_boolean_init(self):
+        st = get_semiring("boolean").init_state(5, 8, root=2)
+        assert st.f[2] == 1.0 and st.f.sum() == 1.0
+        assert st.g[2] == 0.0
+        assert st.g[:5].sum() == 4.0
+        assert np.all(st.g[5:] == 0.0)  # virtual rows never block skipping
+        assert st.d[2] == 0.0
+
+    def test_selmax_init_one_based(self):
+        st = get_semiring("sel-max").init_state(5, 8, root=3)
+        assert st.f[3] == 4.0  # 1-based id
+        assert st.p[3] == 4.0  # root parents itself
+        assert np.all(st.p[5:] == -1.0)  # virtual rows pre-settled
+
+    def test_real_init(self):
+        st = get_semiring("real").init_state(4, 4, root=0)
+        assert st.f[0] == 1.0
+        assert st.g[0] == 0.0
+
+
+class TestPostprocessSemantics:
+    def test_boolean_settles_new_vertices_once(self):
+        sr = get_semiring("boolean")
+        st = sr.init_state(4, 4, root=0)
+        st.depth = 1
+        x = np.array([1.0, 1.0, 0.0, 1.0])  # MV says 0,1,3 reachable
+        newly = sr.postprocess(st, x)
+        assert newly == 2  # root already visited
+        assert st.d.tolist() == [0.0, 1.0, np.inf, 1.0]
+        st.depth = 2
+        newly2 = sr.postprocess(st, np.array([1.0, 1.0, 1.0, 1.0]))
+        assert newly2 == 1  # only vertex 2 is new
+        assert st.d[2] == 2.0
+
+    def test_tropical_newly_counts_changes(self):
+        sr = get_semiring("tropical")
+        st = sr.init_state(3, 4, root=0)
+        st.depth = 1
+        x = st.f.copy()
+        x[1] = 1.0
+        assert sr.postprocess(st, x) == 1
+        assert sr.postprocess(st, st.f.copy()) == 0
+
+    def test_selmax_parent_is_max_visited_neighbor(self):
+        sr = get_semiring("sel-max")
+        st = sr.init_state(4, 4, root=1)
+        st.depth = 1
+        # MV result: vertex 0 and 3 see visited neighbor with id 2 (1-based).
+        x = np.array([2.0, 2.0, 0.0, 2.0])
+        newly = sr.postprocess(st, x)
+        assert newly == 2
+        assert st.p.tolist() == [2.0, 2.0, 0.0, 2.0]
+        # x normalized to own (1-based) ids where nonzero.
+        assert st.f.tolist() == [1.0, 2.0, 0.0, 4.0]
+
+    def test_real_counts_clipped(self):
+        sr = get_semiring("real")
+        st = sr.init_state(2, 2, root=0)
+        st.depth = 1
+        x = np.array([0.0, 1e300])
+        sr.postprocess(st, x)
+        assert st.f[1] == PATH_COUNT_CLIP
+
+
+class TestSettledLanes:
+    def test_tropical_settled_iff_finite(self):
+        sr = get_semiring("tropical")
+        st = sr.init_state(3, 4, root=0)
+        lanes = sr.settled_lanes(st)
+        assert lanes.tolist() == [True, False, False, False]
+
+    def test_boolean_settled_iff_visited(self):
+        sr = get_semiring("boolean")
+        st = sr.init_state(3, 4, root=1)
+        assert sr.settled_lanes(st).tolist() == [False, True, False, True]
+
+    def test_selmax_settled_iff_parent_assigned(self):
+        sr = get_semiring("sel-max")
+        st = sr.init_state(3, 4, root=0)
+        assert sr.settled_lanes(st).tolist() == [True, False, False, True]
+
+
+class TestFinalize:
+    def test_selmax_finalize_parents_zero_based(self):
+        sr = get_semiring("sel-max")
+        st = sr.init_state(3, 4, root=0)
+        st.p = np.array([1.0, 1.0, 0.0, -1.0])
+        p = sr.finalize_parents(st)
+        assert p.tolist() == [0, 0, -1, -1]
+
+    def test_others_have_no_native_parents(self):
+        for name in ("tropical", "real", "boolean"):
+            sr = get_semiring(name)
+            st = sr.init_state(3, 4, root=0)
+            assert sr.finalize_parents(st) is None
+            assert sr.needs_dp
+
+    def test_distances_are_copies(self):
+        sr = get_semiring("tropical")
+        st = sr.init_state(3, 4, root=0)
+        d = sr.finalize_distances(st)
+        d[0] = 99.0
+        assert st.f[0] == 0.0

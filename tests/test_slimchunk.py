@@ -1,0 +1,81 @@
+"""Tests of SlimChunk work-unit decomposition (§III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.slimchunk import WorkUnit, make_work_units, unit_costs
+from repro.bfs.spmv import BFSSpMV
+from repro.bfs.validate import check_distances_equal, reference_distances
+from repro.formats.slimsell import SlimSell
+from repro.sched.scheduling import imbalance, schedule_static
+from repro.graphs.kronecker import kronecker
+
+
+class TestDecomposition:
+    def test_no_split_one_unit_per_chunk(self):
+        cl = np.array([5, 3, 0, 7])
+        units = make_work_units(cl, None)
+        assert [(u.chunk, u.j0, u.j1) for u in units] == [(0, 0, 5), (1, 0, 3), (3, 0, 7)]
+
+    def test_split_covers_all_layers_exactly_once(self):
+        cl = np.array([10, 4, 7])
+        units = make_work_units(cl, 3)
+        per_chunk = {}
+        for u in units:
+            per_chunk.setdefault(u.chunk, []).append((u.j0, u.j1))
+        for i, length in enumerate(cl):
+            spans = sorted(per_chunk[int(i)])
+            assert spans[0][0] == 0 and spans[-1][1] == length
+            for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+                assert a1 == b0  # contiguous, no overlap
+
+    def test_split_respects_maximum(self):
+        units = make_work_units(np.array([100]), 8)
+        assert all(u.layers <= 8 for u in units)
+        assert len(units) == 13
+
+    def test_active_mask_filters(self):
+        cl = np.array([2, 2, 2, 2])
+        active = np.array([True, False, True, False])
+        units = make_work_units(cl, None, active)
+        assert {u.chunk for u in units} == {0, 2}
+
+    def test_empty_chunks_produce_no_units(self):
+        assert make_work_units(np.zeros(4, dtype=np.int64), 2) == []
+
+    def test_unit_layers_property(self):
+        assert WorkUnit(0, 3, 9).layers == 6
+
+    def test_costs_include_overhead(self):
+        units = [WorkUnit(0, 0, 4), WorkUnit(1, 0, 2)]
+        costs = unit_costs(units, C=8, per_unit_overhead=1.0)
+        assert costs.tolist() == [5.0, 3.0]
+
+
+class TestLoadBalanceEffect:
+    def test_splitting_improves_makespan_on_skewed_chunks(self):
+        # A power-law graph at full sigma: first chunks are far heavier.
+        g = kronecker(11, 16, seed=1)
+        rep = SlimSell(g, 32, g.n)
+        threads = 13  # a GPU's worth of units
+        whole = unit_costs(make_work_units(rep.cl, None), 32)
+        split = unit_costs(make_work_units(rep.cl, 4), 32)
+        mk_whole = schedule_static(whole, threads).makespan
+        mk_split = schedule_static(split, threads).makespan
+        assert mk_split < mk_whole
+        assert imbalance(schedule_static(split, threads)) < imbalance(
+            schedule_static(whole, threads))
+
+    def test_results_independent_of_slimchunk(self, kron_small):
+        ref = reference_distances(kron_small, 0)
+        rep = SlimSell(kron_small, 8, kron_small.n)
+        for split in (None, 1, 3, 16):
+            res = BFSSpMV(rep, "tropical", slimchunk=split).run(0)
+            check_distances_equal(res, ref)
+
+    def test_work_units_exposed_by_engine(self, kron_small):
+        rep = SlimSell(kron_small, 8, kron_small.n)
+        eng = BFSSpMV(rep, "tropical", slimchunk=2)
+        units = eng.work_units()
+        assert sum(u.layers for u in units) == int(rep.cl.sum())
+        assert all(u.layers <= 2 for u in units)

@@ -1,0 +1,94 @@
+"""Tests of SlimWork chunk skipping (§III-C, Listing 7, Fig 5d)."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.spmv import BFSSpMV
+from repro.bfs.validate import check_distances_equal, reference_distances
+from repro.formats.slimsell import SlimSell
+from repro.graphs.kronecker import kronecker
+
+from conftest import SEMIRING_NAMES, path_graph
+
+
+class TestSkippingDynamics:
+    @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
+    def test_skipped_chunks_grow_monotonically(self, kron_medium, semiring):
+        # As vertices settle, more chunks qualify for skipping each iteration.
+        rep = SlimSell(kron_medium, 8, kron_medium.n)
+        root = int(np.argmax(kron_medium.degrees))
+        res = BFSSpMV(rep, semiring, slimwork=True).run(root)
+        skipped = [it.chunks_skipped for it in res.iterations]
+        assert all(b >= a for a, b in zip(skipped, skipped[1:]))
+
+    def test_late_iterations_do_little_work(self, kron_medium):
+        # Fig 5d: "the last few iterations entail only little work".
+        rep = SlimSell(kron_medium, 8, kron_medium.n)
+        root = int(np.argmax(kron_medium.degrees))
+        res = BFSSpMV(rep, "sel-max", slimwork=True).run(root)
+        lanes = [it.work_lanes for it in res.iterations]
+        assert lanes[-1] < 0.15 * max(lanes)
+
+    def test_no_slimwork_processes_all_chunks_every_iteration(self, kron_medium):
+        # "in 'No SlimWork' there is no performance improvement after the
+        # first iteration" — every chunk is processed every time.
+        rep = SlimSell(kron_medium, 8, kron_medium.n)
+        root = int(np.argmax(kron_medium.degrees))
+        res = BFSSpMV(rep, "tropical", slimwork=False).run(root)
+        assert all(it.chunks_skipped == 0 for it in res.iterations)
+        assert len({it.chunks_processed for it in res.iterations}) == 1
+
+    def test_slimwork_reduces_total_work(self, kron_medium):
+        rep = SlimSell(kron_medium, 8, kron_medium.n)
+        root = int(np.argmax(kron_medium.degrees))
+        off = BFSSpMV(rep, "boolean", slimwork=False).run(root)
+        on = BFSSpMV(rep, "boolean", slimwork=True).run(root)
+        total_off = sum(it.work_lanes for it in off.iterations)
+        total_on = sum(it.work_lanes for it in on.iterations)
+        assert total_on < total_off
+
+    def test_larger_sigma_skips_faster(self):
+        # §IV-A4: larger sigma packs high-degree chunks early, so the work
+        # amount decays faster across iterations.
+        g = kronecker(11, 16, seed=2)
+        lanes = {}
+        root = int(np.argmax(g.degrees))
+        for sigma in (1, g.n):
+            rep = SlimSell(g, 8, sigma)
+            res = BFSSpMV(rep, "tropical", slimwork=True).run(root)
+            series = np.array([it.work_lanes for it in res.iterations],
+                              dtype=float)
+            lanes[sigma] = series / series.max()
+        k = min(len(lanes[1]), len(lanes[g.n])) - 1
+        assert lanes[g.n][k] <= lanes[1][k]
+
+
+class TestSkippingSafety:
+    @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
+    @pytest.mark.parametrize("engine", ["layer", "chunk"])
+    def test_results_unaffected(self, kron_small, semiring, engine):
+        ref = reference_distances(kron_small, 11)
+        rep = SlimSell(kron_small, 8, kron_small.n)
+        res = BFSSpMV(rep, semiring, slimwork=True, engine=engine).run(11)
+        check_distances_equal(res, ref)
+
+    def test_unreachable_chunks_never_settle_tropical(self):
+        # Disconnected vertices keep infinite distance, so their chunks are
+        # processed every iteration (the paper's zero-degree Kronecker rows).
+        g = kronecker(8, 2, seed=0)  # sparse: guaranteed isolated vertices
+        assert (g.degrees == 0).any()
+        rep = SlimSell(g, 8, g.n)
+        res = BFSSpMV(rep, "tropical", slimwork=True).run(int(np.argmax(g.degrees)))
+        assert res.iterations[-1].chunks_processed > 0
+
+    def test_selmax_and_boolean_skip_empty_chunks_eventually(self):
+        # Unlike tropical, filter/parent-based criteria settle virtual and
+        # unreachable rows too... unreachable rows keep g=1, so only fully
+        # visited chunks skip; a connected path graph reaches everything.
+        g = path_graph(32)
+        rep = SlimSell(g, 4, g.n)
+        res = BFSSpMV(rep, "boolean", slimwork=True).run(0)
+        # The terminating iteration runs with every vertex settled: all
+        # chunks skip, nothing changes, and the engine stops.
+        assert res.iterations[-1].chunks_skipped == rep.nc
+        assert res.iterations[-1].newly == 0

@@ -1,0 +1,63 @@
+"""Tests of the SpMSpV BFS baseline (Table II's work-optimal rows)."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.spmspv import bfs_spmspv
+from repro.bfs.validate import check_parents_valid, reference_distances
+
+from conftest import SEMIRING_NAMES, complete_graph, path_graph, star_graph, two_components
+
+MERGES = ["nosort", "sort", "radix"]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("merge", MERGES)
+    @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
+    def test_matches_reference_on_kronecker(self, kron_small, merge, semiring):
+        ref = reference_distances(kron_small, 3)
+        res = bfs_spmspv(kron_small, 3, semiring, merge=merge)
+        same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
+        assert same.all()
+        check_parents_valid(kron_small, res)
+
+    @pytest.mark.parametrize("merge", MERGES)
+    def test_canonical_graphs(self, merge):
+        for g, root in ((path_graph(9), 0), (star_graph(7), 2),
+                        (complete_graph(5), 4), (two_components(), 0)):
+            ref = reference_distances(g, root)
+            res = bfs_spmspv(g, root, "tropical", merge=merge)
+            same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
+            assert same.all()
+
+    def test_merges_agree_exactly(self, er_small):
+        runs = [bfs_spmspv(er_small, 5, "boolean", merge=m) for m in MERGES]
+        for r in runs[1:]:
+            np.testing.assert_array_equal(runs[0].dist, r.dist)
+
+
+class TestWorkOptimality:
+    def test_total_edges_examined_is_reachable_adjacency(self, kron_small):
+        # SpMSpV is work optimal: touches each reached vertex's list once.
+        g = kron_small
+        res = bfs_spmspv(g, 1, "tropical")
+        reached = np.flatnonzero(np.isfinite(res.dist))
+        expect = int(g.degrees[reached].sum())
+        assert sum(it.edges_examined for it in res.iterations) == expect
+
+    def test_method_label(self, kron_small):
+        assert bfs_spmspv(kron_small, 0, merge="sort").method == "spmspv-sort"
+
+
+class TestValidation:
+    def test_bad_merge_rejected(self, kron_small):
+        with pytest.raises(ValueError, match="merge"):
+            bfs_spmspv(kron_small, 0, merge="quicksort")
+
+    def test_root_out_of_range(self, kron_small):
+        with pytest.raises(ValueError, match="out of range"):
+            bfs_spmspv(kron_small, -1)
+
+    def test_max_iters_truncates(self):
+        res = bfs_spmspv(path_graph(10), 0, max_iters=2)
+        assert res.reached == 3

@@ -1,0 +1,154 @@
+"""Correctness matrix: every BFS-SpMV configuration vs the SciPy oracle."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.spmv import BFSSpMV, bfs_spmv
+from repro.bfs.validate import (
+    check_distances_equal,
+    check_parents_valid,
+    reference_distances,
+)
+from repro.formats.sell import SellCSigma
+from repro.formats.slimsell import SlimSell
+from repro.graphs.graph import Graph
+
+from conftest import (
+    SEMIRING_NAMES,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    two_components,
+)
+
+
+@pytest.mark.parametrize("semiring", SEMIRING_NAMES)
+@pytest.mark.parametrize("slim", [True, False], ids=["slimsell", "sell"])
+@pytest.mark.parametrize("engine", ["layer", "chunk"])
+class TestFullMatrix:
+    """4 semirings × 2 representations × 2 engines on canonical graphs."""
+
+    def run_and_check(self, g, root, semiring, slim, engine, **kw):
+        ref = reference_distances(g, root)
+        res = bfs_spmv(g, root, semiring, C=4, slim=slim, engine=engine, **kw)
+        check_distances_equal(res, ref)
+        check_parents_valid(g, res)
+        return res
+
+    def test_path(self, semiring, slim, engine):
+        self.run_and_check(path_graph(9), 0, semiring, slim, engine)
+
+    def test_cycle_middle_root(self, semiring, slim, engine):
+        self.run_and_check(cycle_graph(10), 4, semiring, slim, engine)
+
+    def test_star_leaf_root(self, semiring, slim, engine):
+        self.run_and_check(star_graph(11), 7, semiring, slim, engine)
+
+    def test_complete(self, semiring, slim, engine):
+        self.run_and_check(complete_graph(6), 3, semiring, slim, engine)
+
+    def test_disconnected(self, semiring, slim, engine):
+        res = self.run_and_check(two_components(), 0, semiring, slim, engine)
+        assert res.reached == 4
+
+    def test_with_slimwork(self, semiring, slim, engine):
+        self.run_and_check(path_graph(9), 0, semiring, slim, engine,
+                           slimwork=True)
+
+    def test_kronecker(self, semiring, slim, engine, kron_small):
+        self.run_and_check(kron_small, 3, semiring, slim, engine,
+                           slimwork=True)
+
+
+class TestWiderScenarios:
+    @pytest.mark.parametrize("C", [1, 2, 4, 8, 16, 32])
+    def test_all_chunk_heights(self, C, kron_small):
+        ref = reference_distances(kron_small, 0)
+        res = bfs_spmv(kron_small, 0, "tropical", C=C)
+        check_distances_equal(res, ref)
+
+    @pytest.mark.parametrize("sigma", [1, 4, 32, 256, 512])
+    def test_all_sigmas(self, sigma, kron_small):
+        ref = reference_distances(kron_small, 9)
+        res = bfs_spmv(kron_small, 9, "boolean", C=8, sigma=sigma)
+        check_distances_equal(res, ref)
+
+    @pytest.mark.parametrize("root", [0, 1, 255, 511])
+    def test_various_roots(self, root, kron_small):
+        ref = reference_distances(kron_small, root)
+        res = bfs_spmv(kron_small, root, "sel-max", C=8, slimwork=True)
+        check_distances_equal(res, ref)
+        check_parents_valid(kron_small, res)
+
+    def test_erdos_renyi(self, er_small):
+        ref = reference_distances(er_small, 17)
+        for sem in SEMIRING_NAMES:
+            res = bfs_spmv(er_small, 17, sem, C=8)
+            check_distances_equal(res, ref)
+
+    def test_n_not_multiple_of_c(self):
+        # 9 vertices with C=4 -> one partial chunk with virtual rows.
+        g = two_components()
+        assert g.n % 4 != 0
+        for sem in SEMIRING_NAMES:
+            res = bfs_spmv(g, 0, sem, C=4, slimwork=True)
+            check_distances_equal(res, reference_distances(g, 0))
+
+    def test_single_vertex_graph(self):
+        g = Graph.empty(1)
+        res = bfs_spmv(g, 0, "tropical", C=4)
+        assert res.dist.tolist() == [0.0]
+
+    def test_isolated_root_in_larger_graph(self):
+        g = Graph.from_edges(5, [(1, 2), (2, 3)])
+        res = bfs_spmv(g, 0, "boolean", C=4)
+        assert res.reached == 1
+
+    def test_two_vertex_edge(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        for sem in SEMIRING_NAMES:
+            res = bfs_spmv(g, 1, sem, C=8)
+            assert res.dist.tolist() == [1.0, 0.0]
+            assert res.parent.tolist() == [1, 1]
+
+    def test_root_out_of_range(self, kron_small):
+        rep = SlimSell(kron_small, 8)
+        with pytest.raises(ValueError, match="out of range"):
+            BFSSpMV(rep, "tropical").run(kron_small.n)
+
+    def test_bad_engine_rejected(self, kron_small):
+        rep = SlimSell(kron_small, 8)
+        with pytest.raises(ValueError, match="engine"):
+            BFSSpMV(rep, "tropical", engine="gpu")
+
+    def test_compute_parents_false(self, kron_small):
+        res = bfs_spmv(kron_small, 0, "tropical", C=8, compute_parents=False)
+        assert res.parent is None
+
+    def test_rep_reuse_across_runs(self, kron_small):
+        rep = SellCSigma(kron_small, 8, kron_small.n)
+        runner = BFSSpMV(rep, "tropical")
+        for root in (0, 100, 200):
+            ref = reference_distances(kron_small, root)
+            check_distances_equal(runner.run(root), ref)
+
+
+class TestMetadata:
+    def test_method_labels(self, kron_small):
+        rep = SlimSell(kron_small, 8)
+        r = BFSSpMV(rep, "tropical", slimwork=True, slimchunk=4,
+                    engine="chunk").run(0)
+        assert r.method == "spmv-chunk+slimwork+slimchunk"
+        assert r.representation == "slimsell"
+        assert r.semiring == "tropical"
+
+    def test_preprocess_time_attached(self, kron_small):
+        res = bfs_spmv(kron_small, 0, "tropical", C=8)
+        assert res.preprocess_time_s > 0
+
+    def test_iteration_times_array(self, kron_small):
+        res = bfs_spmv(kron_small, 0, "tropical", C=8)
+        t = res.iteration_times()
+        assert t.shape == (res.n_iterations,)
+        assert (t >= 0).all()

@@ -1,0 +1,104 @@
+"""Engine equivalence and instruction accounting of the BFS-SpMV engines."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.spmv import BFSSpMV, synthesize_counters
+from repro.formats.sell import SellCSigma
+from repro.formats.slimsell import SlimSell
+from repro.semirings.base import get_semiring
+
+from conftest import SEMIRING_NAMES
+
+
+@pytest.fixture(scope="module", params=[True, False], ids=["slimsell", "sell"])
+def rep(request, kron_small):
+    cls = SlimSell if request.param else SellCSigma
+    return cls(kron_small, 8, kron_small.n)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
+    @pytest.mark.parametrize("slimwork", [False, True])
+    def test_identical_iteration_profiles(self, rep, semiring, slimwork):
+        chunk = BFSSpMV(rep, semiring, engine="chunk", slimwork=slimwork).run(0)
+        layer = BFSSpMV(rep, semiring, engine="layer", slimwork=slimwork).run(0)
+        np.testing.assert_array_equal(chunk.dist, layer.dist)
+        assert len(chunk.iterations) == len(layer.iterations)
+        for a, b in zip(chunk.iterations, layer.iterations):
+            assert a.newly == b.newly
+            assert a.chunks_processed == b.chunks_processed
+            assert a.chunks_skipped == b.chunks_skipped
+            assert a.work_lanes == b.work_lanes
+
+    @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
+    def test_identical_parents(self, rep, semiring):
+        chunk = BFSSpMV(rep, semiring, engine="chunk").run(7)
+        layer = BFSSpMV(rep, semiring, engine="layer").run(7)
+        np.testing.assert_array_equal(chunk.parent, layer.parent)
+
+
+class TestCounterFidelity:
+    @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
+    @pytest.mark.parametrize("slimwork", [False, True])
+    def test_synthesized_matches_counted(self, rep, semiring, slimwork):
+        """The layer engine's analytic counters must equal the chunk engine's
+        instruction-by-instruction counts — this pins the cost-model input."""
+        chunk = BFSSpMV(rep, semiring, engine="chunk", counting=True,
+                        slimwork=slimwork).run(3)
+        layer = BFSSpMV(rep, semiring, engine="layer", counting=True,
+                        slimwork=slimwork).run(3)
+        for a, b in zip(chunk.iterations, layer.iterations):
+            assert a.counters.instructions == b.counters.instructions
+            assert a.counters.words_loaded == b.counters.words_loaded
+            assert a.counters.words_stored == b.counters.words_stored
+            assert a.counters.gather_words == b.counters.gather_words
+
+    def test_counting_off_means_no_counters(self, rep):
+        res = BFSSpMV(rep, "tropical", engine="chunk", counting=False).run(0)
+        assert all(it.counters is None for it in res.iterations)
+        assert res.total_counters() is None
+
+    def test_total_counters_sums_iterations(self, rep):
+        res = BFSSpMV(rep, "tropical", engine="chunk", counting=True).run(0)
+        tot = res.total_counters()
+        assert tot.total_instructions == sum(
+            it.counters.total_instructions for it in res.iterations)
+
+    def test_slimsell_halves_streamed_inner_loads(self, kron_small):
+        """SlimSell's core claim: no val loads → ~half the streamed traffic."""
+        sigma = kron_small.n
+        sell = SellCSigma(kron_small, 8, sigma)
+        slim = SlimSell.from_sell(sell)
+        r_sell = BFSSpMV(sell, "tropical", engine="layer", counting=True).run(0)
+        r_slim = BFSSpMV(slim, "tropical", engine="layer", counting=True).run(0)
+        w_sell = sum(it.counters.words_loaded - it.counters.gather_words
+                     for it in r_sell.iterations)
+        w_slim = sum(it.counters.words_loaded - it.counters.gather_words
+                     for it in r_slim.iterations)
+        assert w_slim < 0.62 * w_sell
+
+    def test_slimsell_pays_cmp_blend(self, kron_small):
+        slim = SlimSell(kron_small, 8)
+        res = BFSSpMV(slim, "tropical", engine="chunk", counting=True).run(0)
+        tot = res.total_counters()
+        layers = sum(it.work_lanes for it in res.iterations) // 8
+        assert tot.instructions["CMP"] >= layers
+        assert tot.instructions["BLEND"] >= layers
+
+
+class TestSynthesizeCountersUnit:
+    def test_zero_work(self):
+        c = synthesize_counters(get_semiring("tropical"), 8, True, 0, 0, 0, False)
+        assert c.total_instructions == 0
+        assert c.total_words == 0
+
+    def test_skip_checks_counted_for_all_chunks(self):
+        c = synthesize_counters(get_semiring("tropical"), 8, True, 3, 5, 10, True)
+        assert c.instructions["SKIPCHK"] == 8
+
+    def test_sell_loads_twice_per_layer(self):
+        sr = get_semiring("tropical")
+        slim = synthesize_counters(sr, 8, True, 1, 0, 10, False)
+        sell = synthesize_counters(sr, 8, False, 1, 0, 10, False)
+        assert sell.instructions["LOAD"] - slim.instructions["LOAD"] == 10

@@ -1,0 +1,77 @@
+"""Tests of the Table III storage accounting across representations."""
+
+import pytest
+
+from repro.formats.sell import SellCSigma
+from repro.formats.storage import (
+    BYTES_PER_CELL,
+    formula_cells,
+    storage_report,
+    storage_table,
+)
+from repro.graphs.erdos_renyi import erdos_renyi_nm
+from repro.graphs.kronecker import kronecker
+
+from conftest import star_graph
+
+
+class TestFormulaVsMeasured:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("C", [4, 8, 16])
+    def test_kronecker(self, seed, C):
+        g = kronecker(8, 6, seed=seed)
+        rep = storage_report(g, C, sigma=g.n)
+        f = formula_cells(g.n, g.m, C, rep.padding_slots)
+        assert rep.csr_cells == f["csr"]
+        assert rep.al_cells == f["al"]
+        assert rep.sell_cells == f["sell"]
+        assert rep.slimsell_cells == f["slimsell"]
+
+    def test_erdos_renyi(self):
+        g = erdos_renyi_nm(256, 1024, seed=0)
+        rep = storage_report(g, 8, sigma=g.n)
+        f = formula_cells(g.n, g.m, 8, rep.padding_slots)
+        assert rep.sell_cells == f["sell"]
+        assert rep.slimsell_cells == f["slimsell"]
+
+
+class TestReportProperties:
+    def test_ratios(self):
+        g = kronecker(9, 8, seed=1)
+        rep = storage_report(g, 8, sigma=g.n)
+        assert 0.4 < rep.slim_vs_sell < 0.7
+        assert rep.slim_vs_al == rep.slimsell_cells / rep.al_cells
+
+    def test_inequality_3_flag_matches_sizes(self):
+        for sigma in (1, 64, None):
+            g = kronecker(9, 8, seed=2)
+            rep = storage_report(g, 8, sigma=sigma if sigma else g.n)
+            # Flag P < n(1-2/C) must agree with the actual size comparison.
+            assert rep.slim_beats_al == (rep.slimsell_cells < rep.al_cells)
+
+    def test_gib_conversion(self):
+        g = star_graph(10)
+        rep = storage_report(g, 4, sigma=10)
+        assert rep.gib("al") == pytest.approx(
+            rep.al_cells * BYTES_PER_CELL / 2**30)
+
+    def test_reuses_existing_sell(self):
+        g = kronecker(8, 4, seed=0)
+        sell = SellCSigma(g, 8, 64)
+        rep = storage_report(g, 8, sell=sell)
+        assert rep.sigma == 64
+        assert rep.sell_cells == sell.storage_cells()
+
+
+class TestSigmaSweep:
+    def test_table_ordered_and_padding_shrinks(self):
+        g = kronecker(9, 8, seed=3)
+        reports = storage_table(g, 8, [1, 8, 64, 512])
+        assert [r.sigma for r in reports] == [1, 8, 64, 512]
+        assert reports[-1].padding_slots <= reports[0].padding_slots
+
+    def test_csr_al_independent_of_sigma(self):
+        g = kronecker(8, 4, seed=4)
+        reports = storage_table(g, 8, [1, 256])
+        assert reports[0].csr_cells == reports[1].csr_cells
+        assert reports[0].al_cells == reports[1].al_cells

@@ -1,0 +1,83 @@
+"""Tests of the traditional BFS baselines."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.traditional import bfs_serial, bfs_top_down
+from repro.bfs.validate import check_parents_valid, reference_distances
+from repro.graphs.graph import Graph
+
+from conftest import complete_graph, cycle_graph, path_graph, star_graph, two_components
+
+
+class TestSerial:
+    def test_path_distances(self):
+        res = bfs_serial(path_graph(6), 0)
+        assert res.dist.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_from_middle(self):
+        res = bfs_serial(path_graph(5), 2)
+        assert res.dist.tolist() == [2, 1, 0, 1, 2]
+
+    def test_disconnected(self):
+        res = bfs_serial(two_components(), 0)
+        assert np.isfinite(res.dist[:4]).all()
+        assert np.isinf(res.dist[4:]).all()
+        assert res.reached == 4
+
+    def test_root_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            bfs_serial(path_graph(3), 3)
+
+
+class TestTopDown:
+    @pytest.mark.parametrize("builder,n", [
+        (path_graph, 12), (cycle_graph, 9), (star_graph, 17), (complete_graph, 6),
+    ])
+    def test_matches_reference(self, builder, n):
+        g = builder(n)
+        ref = reference_distances(g, 0)
+        res = bfs_top_down(g, 0)
+        np.testing.assert_array_equal(res.dist, ref)
+        check_parents_valid(g, res)
+
+    def test_matches_serial_on_kronecker(self, kron_small):
+        a = bfs_serial(kron_small, 5)
+        b = bfs_top_down(kron_small, 5)
+        np.testing.assert_array_equal(a.dist, b.dist)
+
+    def test_iteration_count_is_eccentricity_plus_final_check(self):
+        # The last frontier must be expanded to discover it is exhausted.
+        res = bfs_top_down(path_graph(8), 0)
+        assert res.eccentricity == 7
+        assert res.n_iterations == 8
+        assert res.iterations[-1].newly == 0
+
+    def test_edges_examined_sums_to_reachable_adjacency(self, kron_small):
+        # Top-down BFS examines each reached vertex's adjacency exactly once.
+        g = kron_small
+        res = bfs_top_down(g, 1)
+        reached = np.flatnonzero(np.isfinite(res.dist))
+        expect = int(g.degrees[reached].sum())
+        assert sum(it.edges_examined for it in res.iterations) == expect
+
+    def test_frontier_sizes_sum_to_reached(self, kron_small):
+        res = bfs_top_down(kron_small, 2)
+        assert 1 + sum(it.newly for it in res.iterations) == res.reached
+
+    def test_max_iters_truncates(self):
+        res = bfs_top_down(path_graph(10), 0, max_iters=3)
+        assert res.n_iterations == 3
+        assert res.reached == 4
+
+    def test_isolated_root(self):
+        g = Graph.empty(4)
+        res = bfs_top_down(g, 2)
+        assert res.reached == 1
+        # One iteration that expands the root's (empty) adjacency and stops.
+        assert res.n_iterations == 1
+        assert res.iterations[0].edges_examined == 0
+
+    def test_per_iteration_direction_label(self):
+        res = bfs_top_down(star_graph(5), 0)
+        assert all(it.direction == "top-down" for it in res.iterations)

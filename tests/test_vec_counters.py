@@ -1,0 +1,84 @@
+"""Unit tests for OpCounters accounting arithmetic."""
+
+from repro.vec.counters import OpCounters
+
+
+class TestBasicAccounting:
+    def test_fresh_counters_are_zero(self):
+        c = OpCounters()
+        assert c.total_instructions == 0
+        assert c.total_words == 0
+        assert c.total_bytes == 0
+        assert c.lanes == 0
+
+    def test_count_accumulates_per_mnemonic(self):
+        c = OpCounters()
+        c.count("ADD", 3, lanes=24)
+        c.count("ADD", 2, lanes=16)
+        c.count("MIN", 1, lanes=8)
+        assert c.instructions == {"ADD": 5, "MIN": 1}
+        assert c.total_instructions == 6
+        assert c.lanes == 48
+
+    def test_load_store_words(self):
+        c = OpCounters()
+        c.load(8)
+        c.load(4, gather=True)
+        c.store(6)
+        assert c.words_loaded == 12
+        assert c.gather_words == 4
+        assert c.words_stored == 6
+        assert c.total_words == 18
+        assert c.total_bytes == 72
+
+
+class TestArithmetic:
+    def test_iadd_merges(self):
+        a, b = OpCounters(), OpCounters()
+        a.count("ADD", 2); a.load(4)
+        b.count("ADD", 1); b.count("MUL", 3); b.store(2)
+        a += b
+        assert a.instructions == {"ADD": 3, "MUL": 3}
+        assert a.words_loaded == 4 and a.words_stored == 2
+
+    def test_add_returns_new_object(self):
+        a, b = OpCounters(), OpCounters()
+        a.count("X", 1)
+        b.count("X", 2)
+        c = a + b
+        assert c.instructions["X"] == 3
+        assert a.instructions["X"] == 1  # unchanged
+
+    def test_copy_is_deep_for_instruction_dict(self):
+        a = OpCounters()
+        a.count("ADD", 1)
+        b = a.copy()
+        b.count("ADD", 1)
+        assert a.instructions["ADD"] == 1
+        assert b.instructions["ADD"] == 2
+
+    def test_diff_subtracts_snapshot(self):
+        a = OpCounters()
+        a.count("ADD", 5); a.load(10, gather=True); a.store(3)
+        snap = a.copy()
+        a.count("ADD", 2); a.count("MIN", 1); a.load(4); a.store(1)
+        d = a.diff(snap)
+        assert d.instructions == {"ADD": 2, "MIN": 1}
+        assert d.words_loaded == 4
+        assert d.gather_words == 0
+        assert d.words_stored == 1
+
+    def test_diff_omits_zero_deltas(self):
+        a = OpCounters()
+        a.count("ADD", 5)
+        d = a.diff(a.copy())
+        assert d.instructions == {}
+
+    def test_reset_clears_everything(self):
+        a = OpCounters()
+        a.count("ADD", 5); a.load(10, gather=True); a.store(3)
+        a.reset()
+        assert a.total_instructions == 0
+        assert a.total_words == 0
+        assert a.gather_words == 0
+        assert a.lanes == 0

@@ -1,0 +1,159 @@
+"""Unit tests for the simulated vector ISA (Listing 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.vec.ops import VectorUnit
+
+
+@pytest.fixture
+def vu() -> VectorUnit:
+    return VectorUnit(4)
+
+
+class TestMemoryOps:
+    def test_load_reads_c_contiguous_elements(self, vu):
+        mem = np.arange(12, dtype=np.float64)
+        assert np.array_equal(vu.load(mem, 4), [4, 5, 6, 7])
+
+    def test_store_writes_c_contiguous_elements(self, vu):
+        mem = np.zeros(12)
+        vu.store(mem, 8, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.array_equal(mem[8:12], [1, 2, 3, 4])
+        assert np.all(mem[:8] == 0)
+
+    def test_gather_indexed_load(self, vu):
+        mem = np.array([10.0, 20.0, 30.0, 40.0, 50.0])
+        out = vu.gather(mem, np.array([4, 0, 2, 0]))
+        assert np.array_equal(out, [50, 10, 30, 10])
+
+    def test_gather_with_minus_one_wraps_to_last(self, vu):
+        # SlimSell relies on numpy's -1 semantics being memory-safe.
+        mem = np.array([1.0, 2.0, 3.0])
+        out = vu.gather(mem, np.array([-1, 0, -1, 1]))
+        assert np.array_equal(out, [3, 1, 3, 2])
+
+    def test_load_counts_instruction_and_words(self, vu):
+        vu.load(np.zeros(8), 0)
+        assert vu.counters.instructions["LOAD"] == 1
+        assert vu.counters.words_loaded == 4
+        assert vu.counters.gather_words == 0
+
+    def test_gather_counts_gathered_words(self, vu):
+        vu.gather(np.zeros(8), np.array([0, 1, 2, 3]))
+        assert vu.counters.gather_words == 4
+        assert vu.counters.words_loaded == 4
+
+    def test_store_counts_words(self, vu):
+        vu.store(np.zeros(8), 0, np.zeros(4))
+        assert vu.counters.words_stored == 4
+
+
+class TestRegisterCreation:
+    def test_set1_broadcasts(self, vu):
+        assert np.array_equal(vu.set1(7.5), [7.5] * 4)
+
+    def test_set_requires_exactly_c(self, vu):
+        with pytest.raises(ValueError, match="exactly C=4"):
+            vu.set([1.0, 2.0])
+
+    def test_set_builds_vector(self, vu):
+        assert np.array_equal(vu.set([1, 2, 3, 4]), [1, 2, 3, 4])
+
+
+class TestComputeOps:
+    def test_cmp_eq(self, vu):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        b = np.array([1.0, 0.0, 3.0, 0.0])
+        assert np.array_equal(vu.cmp(a, b, "EQ"), [True, False, True, False])
+
+    def test_cmp_neq(self, vu):
+        a = np.array([0.0, 1.0, 0.0, 2.0])
+        assert np.array_equal(vu.cmp(a, np.zeros(4), "NEQ"),
+                              [False, True, False, True])
+
+    @pytest.mark.parametrize("op,expect", [
+        ("LT", [True, False, False]), ("LE", [True, True, False]),
+        ("GT", [False, False, True]), ("GE", [False, True, True]),
+    ])
+    def test_cmp_orderings(self, op, expect):
+        vu = VectorUnit(3)
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([2.0, 2.0, 2.0])
+        assert np.array_equal(vu.cmp(a, b, op), expect)
+
+    def test_blend_selects_b_where_mask(self, vu):
+        a = np.array([1.0, 1.0, 1.0, 1.0])
+        b = np.array([9.0, 9.0, 9.0, 9.0])
+        mask = np.array([True, False, True, False])
+        assert np.array_equal(vu.blend(a, b, mask), [9, 1, 9, 1])
+
+    def test_blend_accepts_numeric_mask(self, vu):
+        out = vu.blend(np.zeros(4), np.ones(4), np.array([1.0, 0.0, 2.0, 0.0]))
+        assert np.array_equal(out, [1, 0, 1, 0])
+
+    def test_min_max_add_mul(self, vu):
+        a = np.array([1.0, 5.0, 3.0, 0.0])
+        b = np.array([2.0, 4.0, 3.0, -1.0])
+        assert np.array_equal(vu.min(a, b), [1, 4, 3, -1])
+        assert np.array_equal(vu.max(a, b), [2, 5, 3, 0])
+        assert np.array_equal(vu.add(a, b), [3, 9, 6, -1])
+        assert np.array_equal(vu.mul(a, b), [2, 20, 9, 0])
+
+    def test_min_with_infinity(self, vu):
+        a = np.full(4, np.inf)
+        b = np.array([1.0, np.inf, 3.0, np.inf])
+        assert np.array_equal(vu.min(a, b), [1, np.inf, 3, np.inf])
+
+    def test_logical_ops(self, vu):
+        a = np.array([0.0, 1.0, 1.0, 0.0])
+        b = np.array([0.0, 0.0, 1.0, 1.0])
+        assert np.array_equal(vu.logical_and(a, b), [False, False, True, False])
+        assert np.array_equal(vu.logical_or(a, b), [False, True, True, True])
+        assert np.array_equal(vu.logical_not(a), [True, False, False, True])
+
+
+class TestCounting:
+    def test_every_op_counts_one_instruction(self):
+        vu = VectorUnit(4)
+        a = np.zeros(4)
+        vu.min(a, a); vu.max(a, a); vu.add(a, a); vu.mul(a, a)
+        vu.cmp(a, a, "EQ"); vu.blend(a, a, a.astype(bool))
+        vu.logical_and(a, a); vu.logical_or(a, a); vu.logical_not(a)
+        assert vu.counters.total_instructions == 9
+        assert vu.counters.lanes == 9 * 4
+
+    def test_counting_disabled_skips_bookkeeping(self):
+        vu = VectorUnit(4, counting=False)
+        vu.add(np.zeros(4), np.zeros(4))
+        vu.load(np.zeros(8), 0)
+        assert vu.counters.total_instructions == 0
+        assert vu.counters.total_words == 0
+
+    def test_semantics_identical_with_counting_off(self):
+        a = np.array([1.0, -2.0, 3.0, 0.5])
+        b = np.array([0.0, 7.0, -1.0, 0.5])
+        on, off = VectorUnit(4), VectorUnit(4, counting=False)
+        for fn in ("min", "max", "add", "mul"):
+            assert np.array_equal(getattr(on, fn)(a, b), getattr(off, fn)(a, b))
+
+    def test_snapshot_is_independent_copy(self):
+        vu = VectorUnit(2)
+        vu.add(np.zeros(2), np.zeros(2))
+        snap = vu.snapshot()
+        vu.add(np.zeros(2), np.zeros(2))
+        assert snap.total_instructions == 1
+        assert vu.counters.total_instructions == 2
+
+
+class TestValidation:
+    def test_c_must_be_positive(self):
+        with pytest.raises(ValueError, match="C must be >= 1"):
+            VectorUnit(0)
+
+    @pytest.mark.parametrize("C", [1, 2, 8, 16, 32, 64])
+    def test_arbitrary_widths(self, C):
+        vu = VectorUnit(C)
+        out = vu.add(np.ones(C), np.ones(C))
+        assert out.shape == (C,)
+        assert np.all(out == 2)
