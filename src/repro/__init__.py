@@ -20,6 +20,7 @@ Layout
 ``repro.sched``     omp-static/dynamic scheduling simulation
 ``repro.perf``      cost model + timing/amortization harness
 ``repro.analysis``  Table II work bounds, Eq. (1)/(2)
+``repro.dist``      §VI distributed-memory BFS simulation (1D/2D)
 """
 
 from repro.apps import (
@@ -62,6 +63,41 @@ from repro.vec import MACHINES, Machine, OpCounters, VectorUnit, get_machine
 
 __version__ = "1.0.0"
 
+#: Lazily-resolved exports of the distributed subsystem: ``repro.dist``
+#: pulls in the BFS engines and the cost model, so importing ``repro`` for a
+#: quick single-node run should not pay for it.  PEP 562 module __getattr__
+#: resolves these names on first access and caches them in the module dict.
+_LAZY_EXPORTS = {
+    "bfs_dist_1d": ("repro.dist.bfs1d", "bfs_dist_1d"),
+    "bfs_dist_2d": ("repro.dist.bfs2d", "bfs_dist_2d"),
+    "Partition1D": ("repro.dist.partition", "Partition1D"),
+    "Network": ("repro.dist.network", "Network"),
+    "NETWORKS": ("repro.dist.network", "NETWORKS"),
+    "CRAY_ARIES": ("repro.dist.network", "CRAY_ARIES"),
+    "ETHERNET_10G": ("repro.dist.network", "ETHERNET_10G"),
+    "model_allgather": ("repro.dist.network", "model_allgather"),
+    "DistBFSResult": ("repro.dist.result", "DistBFSResult"),
+    "DistIterationStats": ("repro.dist.result", "DistIterationStats"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module), attr)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
 __all__ = [
     "Graph",
     "kronecker",
@@ -97,5 +133,15 @@ __all__ = [
     "Machine",
     "MACHINES",
     "get_machine",
+    "bfs_dist_1d",
+    "bfs_dist_2d",
+    "Partition1D",
+    "Network",
+    "NETWORKS",
+    "CRAY_ARIES",
+    "ETHERNET_10G",
+    "model_allgather",
+    "DistBFSResult",
+    "DistIterationStats",
     "__version__",
 ]

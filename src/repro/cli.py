@@ -6,6 +6,7 @@ Subcommands
 ``bfs``       run any BFS variant on a graph file and report statistics
 ``storage``   print the Table III storage comparison for a graph
 ``machines``  list the seven modeled evaluation systems
+``dist``      simulate the §VI distributed BFS (1D ranks or a 2D grid)
 """
 
 from __future__ import annotations
@@ -103,6 +104,50 @@ def _cmd_storage(args) -> int:
     return 0
 
 
+def _cmd_dist(args) -> int:
+    from repro.dist.bfs1d import bfs_dist_1d
+    from repro.dist.bfs2d import bfs_dist_2d
+    from repro.dist.network import get_network
+    from repro.dist.partition import Partition1D
+    from repro.formats.slimsell import SlimSell
+    from repro.vec.machine import get_machine
+
+    g = _load_graph(args.graph)
+    root = args.root if args.root >= 0 else int(np.argmax(g.degrees))
+    machine = get_machine(args.machine)
+    network = get_network(args.network)
+    rep = SlimSell(g, args.chunk, args.sigma if args.sigma else g.n)
+    slimwork = not args.no_slimwork
+    if args.grid:
+        r, _, c = args.grid.lower().partition("x")
+        if not (r.isdigit() and c.isdigit()):
+            raise SystemExit(f"--grid must be RxC (e.g. 4x4), got {args.grid!r}")
+        res = bfs_dist_2d(rep, root, (int(r), int(c)), machine, network,
+                          slimwork=slimwork)
+    else:
+        part = (Partition1D.blocks(rep.nc, args.ranks) if args.blocks
+                else Partition1D.balanced(rep.cl, args.ranks))
+        res = bfs_dist_1d(rep, root, part, machine, network,
+                          slimwork=slimwork)
+    print(f"method={res.method} ranks={res.ranks} "
+          f"machine={res.machine} network={res.network} root={root}")
+    print(f"reached {res.reached}/{g.n} vertices in {res.n_iterations} "
+          f"iterations")
+    t_local = sum(it.t_local_s for it in res.iterations)
+    t_comm = sum(it.t_comm_s for it in res.iterations)
+    print(f"modeled: local {t_local * 1e3:.3f} ms + comm {t_comm * 1e3:.3f} ms "
+          f"= {res.modeled_total_s * 1e3:.3f} ms "
+          f"(comm share {res.comm_fraction:.1%}, "
+          f"{res.total_comm_bytes} bytes/rank)")
+    if args.verbose:
+        for it in res.iterations:
+            print(f"  iter {it.k}: newly={it.newly} "
+                  f"active={it.chunks_active} imbalance={it.imbalance:.2f} "
+                  f"t_local={it.t_local_s * 1e6:.1f}us "
+                  f"t_comm={it.t_comm_s * 1e6:.1f}us")
+    return 0
+
+
 def _cmd_machines(_args) -> int:
     from repro.vec.machine import MACHINES
 
@@ -149,6 +194,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     m = sub.add_parser("machines", help="list modeled systems")
     m.set_defaults(fn=_cmd_machines)
+
+    d = sub.add_parser("dist", help="simulate the distributed BFS (§VI)")
+    d.add_argument("graph", help="graph file or generator spec")
+    d.add_argument("--ranks", "-P", type=int, default=8,
+                   help="1D rank count (ignored with --grid)")
+    d.add_argument("--grid", default=None,
+                   help="2D process grid as RxC (e.g. 4x4)")
+    d.add_argument("--machine", default="knl",
+                   help="node descriptor (see `repro machines`)")
+    from repro.dist.network import NETWORKS
+
+    d.add_argument("--network", default="cray-aries",
+                   choices=sorted(NETWORKS))
+    d.add_argument("--chunk", "-C", type=int, default=16, help="chunk height C")
+    d.add_argument("--sigma", type=int, default=None, help="sorting scope")
+    d.add_argument("--root", type=int, default=-1,
+                   help="root vertex (-1 = highest degree)")
+    d.add_argument("--blocks", action="store_true",
+                   help="naive block partition instead of work-balanced bands")
+    d.add_argument("--no-slimwork", action="store_true",
+                   help="disable SlimWork chunk skipping")
+    d.add_argument("--verbose", "-v", action="store_true")
+    d.set_defaults(fn=_cmd_dist)
     return p
 
 

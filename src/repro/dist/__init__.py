@@ -1,0 +1,38 @@
+"""Distributed-memory BFS simulation (§VI "Scaling to Distributed Memory").
+
+The paper's §VI observes that SlimSell composes with the classic
+Graph500 / Combinatorial-BLAS distributed BFS formulations: partition the
+chunked matrix across P ranks, run the local SlimSell SpMV on each rank,
+and allgather the frontier between iterations.  This package simulates
+that execution the same way :mod:`repro.perf` simulates a single node —
+exact distances come from the real single-node engine, while per-rank
+compute is modeled with the vector-ISA cost model and inter-node traffic
+with an allgather latency/bandwidth model.
+
+Modules
+-------
+``partition``  1D chunk-to-rank partitions (naive blocks / work-balanced)
+``network``    interconnect descriptors + the allgather cost model
+``bfs1d``      1D row decomposition (frontier allgather over all ranks)
+``bfs2d``      2D (R, C) grid decomposition (column allgather + row merge)
+``result``     per-iteration profile and result containers
+"""
+
+from repro.dist.bfs1d import bfs_dist_1d
+from repro.dist.bfs2d import bfs_dist_2d
+from repro.dist.network import CRAY_ARIES, ETHERNET_10G, NETWORKS, Network, model_allgather
+from repro.dist.partition import Partition1D
+from repro.dist.result import DistBFSResult, DistIterationStats
+
+__all__ = [
+    "bfs_dist_1d",
+    "bfs_dist_2d",
+    "Partition1D",
+    "Network",
+    "NETWORKS",
+    "CRAY_ARIES",
+    "ETHERNET_10G",
+    "model_allgather",
+    "DistBFSResult",
+    "DistIterationStats",
+]

@@ -1,0 +1,119 @@
+"""1D-decomposed distributed BFS over SlimSell (§VI; cf. [9]'s 1D variant).
+
+Each rank owns a band of chunks (C-row blocks of the permuted matrix) and
+the matching slice of every vector.  An iteration is
+
+1. **local SpMV** — the rank's chunks, exactly the single-node SlimSell
+   kernel with SlimWork chunk skipping; all ranks wait for the slowest
+   (modeled with the vector-ISA cost model on the node descriptor);
+2. **frontier allgather** — every rank receives the full N-word frontier
+   (4·N bytes), modeled with the interconnect's allgather cost.
+
+This is the classic 1D-BFS scaling story the benchmark regenerates: local
+work shrinks ≈ 1/P while the allgather result is P-independent, so the
+communication share grows with P — the motivation for the 2D decomposition
+in :mod:`repro.dist.bfs2d`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dist.network import Network, model_allgather
+from repro.dist.partition import Partition1D
+from repro.dist.result import (
+    DistBFSResult,
+    DistIterationStats,
+    active_chunk_mask,
+    modeled_local_seconds,
+    run_global_bfs,
+    work_imbalance,
+)
+from repro.formats.sell import SellCSigma
+from repro.perf.costmodel import BYTES_PER_WORD
+from repro.semirings.base import get_semiring
+from repro.vec.machine import Machine
+
+__all__ = ["bfs_dist_1d"]
+
+
+def bfs_dist_1d(
+    rep: SellCSigma,
+    root: int,
+    partition: Partition1D,
+    machine: Machine,
+    network: Network,
+    *,
+    slimwork: bool = True,
+) -> DistBFSResult:
+    """Simulate a 1D-distributed BFS-SpMV from ``root`` (original ids).
+
+    Parameters
+    ----------
+    rep:
+        A built :class:`~repro.formats.slimsell.SlimSell` (or
+        :class:`~repro.formats.sell.SellCSigma`) representation.
+    root:
+        Traversal root in original vertex ids.
+    partition:
+        Chunk → rank assignment; must cover all ``rep.nc`` chunks.
+    machine:
+        Node descriptor used to model each rank's local SpMV.
+    network:
+        Interconnect descriptor used to model the frontier allgather.
+    slimwork:
+        Enable §III-C chunk skipping inside each rank's local SpMV.
+
+    Returns
+    -------
+    DistBFSResult
+        Exact distances (bit-identical to the single-node run) plus the
+        per-iteration profile: slowest-rank local time, allgather time,
+        bytes moved, per-rank work lanes, and work imbalance.
+    """
+    if not 0 <= root < rep.n:
+        raise ValueError(f"root {root} out of range [0, {rep.n})")
+    if partition.nchunks != rep.nc:
+        raise ValueError(
+            f"partition covers {partition.nchunks} chunks but the "
+            f"representation has {rep.nc}; the partition must cover every chunk")
+
+    t0 = time.perf_counter()
+    ranks = partition.ranks
+    semiring = get_semiring("tropical")
+    slim = not rep.has_val
+    res, levels = run_global_bfs(rep, root, slimwork)
+
+    owner = partition.owner
+    owned = partition.counts_per_rank()
+    # Each rank receives the full frontier (N words) in the allgather.
+    comm_bytes = 0 if ranks == 1 else BYTES_PER_WORD * rep.N
+    iterations: list[DistIterationStats] = []
+    for it in res.iterations:
+        active = active_chunk_mask(levels, rep.nc, rep.C, it.k, slimwork)
+        act_owner = owner[active]
+        processed = np.bincount(act_owner, minlength=ranks)
+        layers = np.bincount(act_owner, weights=rep.cl[active],
+                             minlength=ranks).astype(np.int64)
+        rank_lanes = layers * rep.C
+        t_local = max(
+            modeled_local_seconds(machine, semiring, rep.C, slim,
+                                  int(processed[r]),
+                                  int(owned[r] - processed[r]),
+                                  int(layers[r]), slimwork)
+            for r in range(ranks))
+        t_comm = model_allgather(network, ranks, comm_bytes)
+        iterations.append(DistIterationStats(
+            k=it.k, newly=it.newly, t_local_s=t_local, t_comm_s=t_comm,
+            comm_bytes=comm_bytes, imbalance=work_imbalance(rank_lanes),
+            rank_lanes=rank_lanes, chunks_active=int(active.sum()),
+        ))
+
+    method = "dist-1d" + ("+slimwork" if slimwork else "")
+    return DistBFSResult(
+        dist=res.dist, root=root, method=method, ranks=ranks,
+        machine=machine.name, network=network.name, iterations=iterations,
+        wall_time_s=time.perf_counter() - t0,
+    )

@@ -1,0 +1,157 @@
+"""2D-decomposed distributed BFS over SlimSell (cf. Buluç & Madduri, [9]).
+
+The adjacency matrix is mapped onto an (R, C) process grid: the nc chunks
+(row bands) are work-balanced across the R grid rows, and the column space
+is split into C contiguous vertex blocks.  Rank (i, j) stores the slots of
+row-band i whose column index falls in block j, so its local chunk lengths
+``cl2d[c, j]`` (max per-row neighbor count inside the block) are computed
+from the real layout — the 2D analog of SlimSell's ``cl`` array.
+
+One iteration is the textbook 2D BFS-SpMV:
+
+1. **column allgather** — the R ranks of a grid column assemble their
+   frontier segment (N/C words each: the vector entries their matrix
+   columns need);
+2. **local SpMV** — the column-restricted SlimSell kernel, SlimWork
+   skipping decided per row chunk exactly as in 1D;
+3. **row merge** — the C ranks of a grid row reduce-scatter their partial
+   result segments (N/R words).
+
+Per-iteration traffic is therefore O(N/R + N/C) words instead of the 1D
+decomposition's O(N) — [9]'s scalability argument, reproduced by the
+``bench_dist_scaling`` benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dist.network import Network, model_allgather
+from repro.dist.partition import Partition1D
+from repro.dist.result import (
+    DistBFSResult,
+    DistIterationStats,
+    active_chunk_mask,
+    modeled_local_seconds,
+    run_global_bfs,
+    work_imbalance,
+)
+from repro.formats.sell import SellCSigma
+from repro.perf.costmodel import BYTES_PER_WORD
+from repro.semirings.base import get_semiring
+from repro.vec.machine import Machine
+
+__all__ = ["bfs_dist_2d", "column_split_lengths"]
+
+
+def column_split_lengths(rep: SellCSigma, nblocks: int) -> np.ndarray:
+    """int64[nc, nblocks]: chunk lengths of the column-restricted layouts.
+
+    ``out[c, j]`` is the number of column layers chunk ``c`` needs when only
+    the edges whose target falls in contiguous column block ``j`` are kept —
+    the ``cl`` array rank (i, j) would build locally.  Derived from the real
+    slot layout, so empty blocks and skewed columns are captured exactly.
+    """
+    lay = rep._layout  # shared Sell-C-σ/SlimSell geometry (marker col array)
+    nc, C = rep.nc, rep.C
+    if nc == 0 or nblocks < 1:
+        return np.zeros((nc, max(nblocks, 0)), dtype=np.int64)
+    sizes = rep.cl * C
+    chunk_of = np.repeat(np.arange(nc, dtype=np.int64), sizes)
+    offset = np.arange(lay.col.size, dtype=np.int64) - rep.cs[chunk_of]
+    row_of = offset % C
+    edge = lay.edge_mask()
+    block_size = max(1, -(-rep.N // nblocks))  # ceil(N / nblocks)
+    block_of = lay.col[edge].astype(np.int64) // block_size
+    key = (chunk_of[edge] * C + row_of[edge]) * nblocks + block_of
+    counts = np.bincount(key, minlength=nc * C * nblocks)
+    return counts.reshape(nc, C, nblocks).max(axis=1).astype(np.int64)
+
+
+def bfs_dist_2d(
+    rep: SellCSigma,
+    root: int,
+    grid: tuple[int, int],
+    machine: Machine,
+    network: Network,
+    *,
+    slimwork: bool = True,
+) -> DistBFSResult:
+    """Simulate a 2D-distributed BFS-SpMV on an ``(R, C)`` process grid.
+
+    Parameters
+    ----------
+    rep:
+        A built :class:`~repro.formats.slimsell.SlimSell` (or
+        :class:`~repro.formats.sell.SellCSigma`) representation.
+    root:
+        Traversal root in original vertex ids.
+    grid:
+        ``(R, C)`` process grid dimensions; both must be ≥ 1.  Grids with
+        more cells than chunks are legal (surplus ranks idle).
+    machine / network:
+        Node and interconnect descriptors for the cost model.
+    slimwork:
+        Enable §III-C chunk skipping inside each rank's local SpMV.
+
+    Returns
+    -------
+    DistBFSResult
+        Exact distances plus per-iteration profiles whose iteration count
+        and ``newly`` series match the 1D simulation (the global computation
+        is identical; only its mapping onto ranks differs).
+    """
+    R, C_grid = grid
+    if R < 1 or C_grid < 1:
+        raise ValueError(f"grid dimensions must be >= 1, got {grid!r}")
+    if not 0 <= root < rep.n:
+        raise ValueError(f"root {root} out of range [0, {rep.n})")
+
+    t0 = time.perf_counter()
+    ranks = R * C_grid
+    semiring = get_semiring("tropical")
+    slim = not rep.has_val
+    res, levels = run_global_bfs(rep, root, slimwork)
+
+    rows = Partition1D.balanced(rep.cl, R)  # chunk bands → grid rows
+    cl2d = column_split_lengths(rep, C_grid)  # per-chunk per-column-block work
+    rowner = rows.owner
+    owned = rows.counts_per_rank()
+    if ranks == 1:
+        comm_bytes = 0
+        t_comm = 0.0
+    else:
+        col_seg = -(-rep.N // C_grid)  # frontier segment assembled per column
+        row_seg = -(-rep.N // R)  # partial-result segment merged per row
+        comm_bytes = BYTES_PER_WORD * (col_seg + row_seg)
+        t_comm = (model_allgather(network, R, BYTES_PER_WORD * col_seg)
+                  + model_allgather(network, C_grid, BYTES_PER_WORD * row_seg))
+
+    iterations: list[DistIterationStats] = []
+    for it in res.iterations:
+        active = active_chunk_mask(levels, rep.nc, rep.C, it.k, slimwork)
+        processed = np.bincount(rowner[active], minlength=R)
+        # layers[i, j] = Σ cl2d[c, j] over active chunks of grid row i.
+        layers = np.zeros((R, C_grid), dtype=np.int64)
+        np.add.at(layers, rowner[active], cl2d[active])
+        rank_lanes = (layers * rep.C).reshape(ranks)
+        t_local = max(
+            modeled_local_seconds(machine, semiring, rep.C, slim,
+                                  int(processed[i]),
+                                  int(owned[i] - processed[i]),
+                                  int(layers[i, j]), slimwork)
+            for i in range(R) for j in range(C_grid))
+        iterations.append(DistIterationStats(
+            k=it.k, newly=it.newly, t_local_s=t_local, t_comm_s=t_comm,
+            comm_bytes=comm_bytes, imbalance=work_imbalance(rank_lanes),
+            rank_lanes=rank_lanes, chunks_active=int(active.sum()),
+        ))
+
+    method = "dist-2d" + ("+slimwork" if slimwork else "")
+    return DistBFSResult(
+        dist=res.dist, root=root, method=method, ranks=ranks,
+        machine=machine.name, network=network.name, iterations=iterations,
+        wall_time_s=time.perf_counter() - t0,
+    )

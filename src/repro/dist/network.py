@@ -1,0 +1,82 @@
+"""Interconnect descriptors and the collective cost model.
+
+The distributed BFS exchanges one frontier allgather per iteration; its cost
+is modeled with the standard recursive-doubling formulation
+
+    T(P, B) = log2(P)·α + B·(P−1)/P / β
+
+where α is the per-hop latency, β the per-link bandwidth, and B the size of
+the gathered result.  A single rank communicates nothing.  As with the
+:mod:`repro.vec.machine` descriptors, the numbers are public spec-sheet
+values: the reproduction targets *shape* (how the communication share grows
+with P, why Aries beats commodity Ethernet), not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Network", "NETWORKS", "CRAY_ARIES", "ETHERNET_10G",
+           "model_allgather", "get_network"]
+
+
+@dataclass(frozen=True)
+class Network:
+    """An interconnect, as the collective cost model sees it.
+
+    Attributes
+    ----------
+    name:
+        Identifier used by benchmarks (e.g. ``"cray-aries"``).
+    latency_s:
+        One-hop message latency α in seconds.
+    bandwidth_gbs:
+        Per-link injection bandwidth β in GB/s (10^9 bytes per second).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_gbs: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.name} (α={self.latency_s * 1e6:.1f}µs, "
+                f"β={self.bandwidth_gbs}GB/s)")
+
+
+#: Cray Aries dragonfly (Piz Daint / Piz Dora class): ~1.3µs MPI latency,
+#: ~10 GB/s injection bandwidth per node.
+CRAY_ARIES = Network("cray-aries", latency_s=1.3e-6, bandwidth_gbs=10.2)
+
+#: Commodity 10-Gigabit Ethernet: ~50µs latency, 1.25 GB/s line rate.
+ETHERNET_10G = Network("ethernet-10g", latency_s=5e-5, bandwidth_gbs=1.25)
+
+NETWORKS: dict[str, Network] = {n.name: n for n in (CRAY_ARIES, ETHERNET_10G)}
+
+
+def get_network(name: str) -> Network:
+    """Look up a modeled interconnect by name."""
+    try:
+        return NETWORKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; available: {sorted(NETWORKS)}"
+        ) from None
+
+
+def model_allgather(network: Network, ranks: int, nbytes: int | float) -> float:
+    """Modeled seconds for an allgather whose result is ``nbytes`` bytes.
+
+    Recursive doubling over ``ranks`` participants: log2(P) latency hops,
+    and every rank receives the (P−1)/P fraction of the result it does not
+    already hold at line rate.  One rank (or an empty result) is free.
+    """
+    if ranks < 1:
+        raise ValueError(f"ranks must be >= 1, got {ranks}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if ranks == 1:
+        return 0.0
+    t_latency = math.log2(ranks) * network.latency_s
+    t_bandwidth = nbytes * (ranks - 1) / ranks / (network.bandwidth_gbs * 1e9)
+    return t_latency + t_bandwidth

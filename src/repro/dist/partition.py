@@ -1,0 +1,113 @@
+"""Chunk-to-rank partitions for the 1D distributed decomposition.
+
+The distributed unit of work is the Sell-C-σ *chunk* (C consecutive rows of
+the permuted matrix), so a 1D decomposition is an assignment of the ``nc``
+chunks to ``P`` ranks.  Two constructors mirror the single-node scheduling
+story (Fig 5a): :meth:`Partition1D.blocks` hands each rank an equal count of
+consecutive chunks — which, after the σ sort packed the heavy rows first, is
+maximally skewed — and :meth:`Partition1D.balanced` bands the prefix sum of
+the chunk lengths so every rank carries ≈ the same padded work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Partition1D"]
+
+
+class Partition1D:
+    """An assignment of chunks to ranks: ``owner[c]`` is the rank of chunk c.
+
+    Parameters
+    ----------
+    owner:
+        int array; ``owner[c]`` = rank owning chunk ``c``.
+    ranks:
+        Number of ranks (defaults to ``owner.max() + 1``); ranks may own
+        zero chunks (more ranks than chunks is legal).
+    """
+
+    def __init__(self, owner: np.ndarray, ranks: int | None = None):
+        self.owner = np.ascontiguousarray(owner, dtype=np.int64)
+        if self.owner.ndim != 1:
+            raise ValueError("owner must be a 1D chunk → rank array")
+        if self.owner.size and self.owner.min() < 0:
+            raise ValueError("owner ranks must be non-negative")
+        inferred = int(self.owner.max()) + 1 if self.owner.size else 1
+        self.ranks = int(ranks) if ranks is not None else inferred
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.owner.size and inferred > self.ranks:
+            raise ValueError(
+                f"owner references rank {inferred - 1} but ranks={self.ranks}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def blocks(cls, nchunks: int, ranks: int) -> "Partition1D":
+        """Equal-count consecutive blocks of chunks (the naive partition)."""
+        if ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {ranks}")
+        if nchunks < 0:
+            raise ValueError(f"nchunks must be >= 0, got {nchunks}")
+        owner = np.zeros(nchunks, dtype=np.int64)
+        for r, part in enumerate(np.array_split(np.arange(nchunks), ranks)):
+            owner[part] = r
+        return cls(owner, ranks)
+
+    @classmethod
+    def balanced(cls, cl: np.ndarray, ranks: int) -> "Partition1D":
+        """Work-balanced contiguous bands over the chunk-length prefix sum.
+
+        Each chunk's SpMV work is ``cl[c]·C`` lanes; banding the cumulative
+        work at multiples of ``total/ranks`` equalizes per-rank work the same
+        way Fig 5a's guided schedule equalizes per-thread work.  Degenerate
+        inputs (zero total work) fall back to :meth:`blocks`.
+        """
+        if ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {ranks}")
+        cl = np.asarray(cl, dtype=np.float64)
+        total = float(cl.sum())
+        if cl.size == 0 or total <= 0.0:
+            return cls.blocks(cl.size, ranks)
+        cum = np.cumsum(cl)
+        mid = cum - cl / 2.0  # work midpoint of each chunk
+        bounds = total * np.arange(1, ranks) / ranks
+        owner = np.searchsorted(bounds, mid, side="right").astype(np.int64)
+        return cls(owner, ranks)
+
+    # ------------------------------------------------------------------
+    @property
+    def nchunks(self) -> int:
+        """Number of chunks covered by this partition."""
+        return int(self.owner.size)
+
+    def chunks_of(self, rank: int) -> np.ndarray:
+        """Chunk indices owned by ``rank`` (ascending; possibly empty)."""
+        if not 0 <= rank < self.ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.ranks})")
+        return np.flatnonzero(self.owner == rank)
+
+    def owner_of(self, chunk: int) -> int:
+        """Rank owning ``chunk``."""
+        if not 0 <= chunk < self.nchunks:
+            raise ValueError(f"chunk {chunk} out of range [0, {self.nchunks})")
+        return int(self.owner[chunk])
+
+    def work_per_rank(self, cl: np.ndarray) -> np.ndarray:
+        """Σ cl[c] per rank — the static work distribution this partition induces."""
+        cl = np.asarray(cl)
+        if cl.size != self.nchunks:
+            raise ValueError(
+                f"cl has {cl.size} chunks, partition covers {self.nchunks}")
+        return np.bincount(self.owner, weights=cl,
+                           minlength=self.ranks).astype(np.int64)
+
+    def counts_per_rank(self) -> np.ndarray:
+        """Number of chunks owned by each rank."""
+        return np.bincount(self.owner, minlength=self.ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition1D(ranks={self.ranks}, nchunks={self.nchunks})"

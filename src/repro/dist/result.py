@@ -1,0 +1,176 @@
+"""Result containers and the shared simulation core of the dist subsystem.
+
+Both decompositions execute the *same global computation* as the single-node
+layer engine (the decomposition only changes who computes which chunk and
+what travels over the wire), so the simulation runs the real engine once for
+ground-truth distances and wall clock, then reconstructs each iteration's
+SlimWork chunk-activity analytically from the final BFS levels: a lane is
+settled before iteration k iff its level is ≤ k−1 (tropical semantics —
+padding lanes stay ∞ and therefore never let their chunk be skipped, exactly
+as in :meth:`repro.semirings.tropical.TropicalSemiring.settled_lanes`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from dataclasses import dataclass, field
+
+from repro.formats.sell import SellCSigma
+from repro.semirings.base import SemiringBFS
+from repro.vec.machine import Machine
+
+__all__ = ["DistIterationStats", "DistBFSResult"]
+
+
+@dataclass
+class DistIterationStats:
+    """Profile of one distributed BFS iteration (frontier expansion).
+
+    Attributes
+    ----------
+    k:
+        Iteration number (1-based), as in :class:`repro.bfs.result.IterationStats`.
+    newly:
+        Vertices settled this iteration (identical to the single-node run).
+    t_local_s:
+        Modeled seconds of the slowest rank's local SpMV (the barrier time).
+    t_comm_s:
+        Modeled seconds of the frontier exchange collectives.
+    comm_bytes:
+        Bytes of collective result received per rank this iteration.
+    imbalance:
+        max/mean of per-rank work lanes (1.0 = perfectly balanced).
+    rank_lanes:
+        int64[P]; padded SpMV lanes (Σ cl·C over processed chunks) per rank.
+    chunks_active:
+        Chunks processed globally (SlimWork skips fully-settled chunks).
+    """
+
+    k: int
+    newly: int
+    t_local_s: float
+    t_comm_s: float
+    comm_bytes: int
+    imbalance: float
+    rank_lanes: np.ndarray
+    chunks_active: int = 0
+
+    @property
+    def t_total_s(self) -> float:
+        """Modeled iteration time: compute barrier + collective."""
+        return self.t_local_s + self.t_comm_s
+
+
+@dataclass
+class DistBFSResult:
+    """Outcome of one simulated distributed BFS traversal.
+
+    Attributes
+    ----------
+    dist:
+        float64[n]; hop distances in original vertex ids (``inf`` unreached).
+    root:
+        Traversal root (original ids).
+    method:
+        Provenance label (``"dist-1d"`` / ``"dist-2d"``, ``+slimwork``).
+    ranks:
+        Total number of simulated ranks.
+    machine / network:
+        Names of the node and interconnect descriptors used by the model.
+    iterations:
+        Per-iteration profiles, in order.
+    wall_time_s:
+        Wall clock of the simulation itself (the real local computation).
+    """
+
+    dist: np.ndarray
+    root: int
+    method: str
+    ranks: int
+    machine: str
+    network: str
+    iterations: list[DistIterationStats] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of frontier expansions executed."""
+        return len(self.iterations)
+
+    @property
+    def reached(self) -> int:
+        """Vertices reached (finite distance)."""
+        return int(np.isfinite(self.dist).sum())
+
+    @property
+    def modeled_total_s(self) -> float:
+        """Modeled end-to-end seconds: Σ per-iteration (local barrier + comm)."""
+        return float(sum(it.t_total_s for it in self.iterations))
+
+    @property
+    def total_comm_bytes(self) -> int:
+        """Total collective bytes received per rank across all iterations."""
+        return int(sum(it.comm_bytes for it in self.iterations))
+
+    @property
+    def comm_fraction(self) -> float:
+        """Communication share of the modeled total (0 when nothing is modeled)."""
+        total = self.modeled_total_s
+        if total <= 0.0:
+            return 0.0
+        return float(sum(it.t_comm_s for it in self.iterations)) / total
+
+
+# ----------------------------------------------------------------------
+# Shared simulation core
+# ----------------------------------------------------------------------
+
+def run_global_bfs(rep: SellCSigma, root: int, slimwork: bool):
+    """Run the real single-node engine once; return ``(result, levels)``.
+
+    ``levels`` is the distance vector in the representation's permuted,
+    padded id space (length N; padding lanes are ∞), from which each
+    iteration's settled-lane state can be reconstructed exactly.
+    """
+    from repro.bfs.spmv import BFSSpMV
+
+    res = BFSSpMV(rep, "tropical", slimwork=slimwork, engine="layer",
+                  compute_parents=False).run(root)
+    levels = np.full(rep.N, np.inf)
+    levels[rep.perm] = res.dist
+    return res, levels
+
+
+def active_chunk_mask(levels: np.ndarray, nc: int, C: int, k: int,
+                      slimwork: bool) -> np.ndarray:
+    """Bool[nc]: chunks processed in iteration ``k`` (1-based).
+
+    Without SlimWork every chunk is processed; with it, a chunk is skipped
+    iff all of its lanes settled in iterations < k (level ≤ k−1).
+    """
+    if not slimwork:
+        return np.ones(nc, dtype=bool)
+    settled = (levels <= k - 1).reshape(nc, C)
+    return ~settled.all(axis=1)
+
+
+def modeled_local_seconds(machine: Machine, semiring: SemiringBFS, C: int,
+                          slim: bool, processed_chunks: int,
+                          skipped_chunks: int, processed_layers: int,
+                          slimwork: bool) -> float:
+    """Model one rank's local SpMV share on ``machine`` via the cost model."""
+    from repro.bfs.spmv import synthesize_counters
+    from repro.perf.costmodel import model_vector_iteration
+
+    counters = synthesize_counters(semiring, C, slim, processed_chunks,
+                                   skipped_chunks, processed_layers, slimwork)
+    return model_vector_iteration(machine, counters).t_total
+
+
+def work_imbalance(rank_lanes: np.ndarray) -> float:
+    """max/mean per-rank work; 1.0 for idle iterations (nothing to balance)."""
+    total = int(rank_lanes.sum())
+    if total == 0:
+        return 1.0
+    return float(rank_lanes.max()) * rank_lanes.size / total

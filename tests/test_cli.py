@@ -69,6 +69,24 @@ class TestCommands:
         assert out_file.exists()
         assert main(["bfs", str(out_file)]) == 0
 
+    def test_dist_1d(self, capsys):
+        assert main(["dist", "kronecker:8,4", "--ranks", "4", "-C", "8",
+                     "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "method=dist-1d+slimwork" in out
+        assert "ranks=4" in out and "comm share" in out and "iter 1" in out
+
+    def test_dist_2d_grid(self, capsys):
+        assert main(["dist", "kronecker:8,4", "--grid", "2x2", "-C", "8",
+                     "--network", "ethernet-10g", "--no-slimwork"]) == 0
+        out = capsys.readouterr().out
+        assert "method=dist-2d" in out and "ethernet-10g" in out
+
+    def test_dist_blocks_partition(self, capsys):
+        assert main(["dist", "er:64,128", "--ranks", "2", "--blocks",
+                     "--root", "3"]) == 0
+        assert "root=3" in capsys.readouterr().out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
