@@ -34,7 +34,9 @@ from repro.apps import (
 from repro.bfs import (
     BFSResult,
     BFSSpMV,
+    MultiSourceBFS,
     SlimSpMV,
+    bfs_msbfs,
     bfs_direction_optimizing,
     bfs_hybrid,
     bfs_serial,
@@ -111,7 +113,9 @@ __all__ = [
     "Ellpack",
     "storage_report",
     "BFSSpMV",
+    "MultiSourceBFS",
     "bfs_spmv",
+    "bfs_msbfs",
     "bfs_spmspv",
     "SlimSpMV",
     "bfs_top_down",

@@ -7,6 +7,10 @@ The central entry points are:
   SlimSell with a choice of semiring, optional SlimWork chunk skipping and
   SlimChunk splitting, on either the instruction-counted chunk engine or the
   fast layer engine.
+* :func:`~repro.bfs.msbfs.bfs_msbfs` /
+  :class:`~repro.bfs.msbfs.MultiSourceBFS` — the batched multi-source
+  engine: one SpMM layer sweep traverses B sources at once, bit-identical
+  to B sequential runs.
 * :func:`~repro.bfs.traditional.bfs_top_down` — the Graph500-style
   work-efficient queue BFS (the paper's ``Trad-BFS`` comparison target).
 * :func:`~repro.bfs.direction_opt.bfs_direction_optimizing` — Beamer-style
@@ -17,6 +21,7 @@ The central entry points are:
 from repro.bfs.direction_opt import bfs_direction_optimizing
 from repro.bfs.dp import dp_transform
 from repro.bfs.hybrid import bfs_hybrid
+from repro.bfs.msbfs import MultiSourceBFS, bfs_msbfs
 from repro.bfs.operator import SlimSpMV
 from repro.bfs.result import BFSResult, IterationStats
 from repro.bfs.spmspv import bfs_spmspv
@@ -32,7 +37,9 @@ __all__ = [
     "BFSResult",
     "IterationStats",
     "BFSSpMV",
+    "MultiSourceBFS",
     "bfs_spmv",
+    "bfs_msbfs",
     "bfs_spmspv",
     "bfs_hybrid",
     "SlimSpMV",

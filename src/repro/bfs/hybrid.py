@@ -131,7 +131,7 @@ def _pull_sweep(rep: SellCSigma, sr, f_prev: np.ndarray, x_raw: np.ndarray,
                 active: np.ndarray) -> None:
     """One layer-engine tropical sweep over the active chunks (in place)."""
     C = rep.C
-    col = rep.col.astype(np.int64)
+    col = rep.col64  # memoized on the representation across sweeps
     val = rep.val_for(sr)
     lane_off = np.arange(C, dtype=np.int64)
     act = np.flatnonzero(active)

@@ -1,0 +1,319 @@
+"""Batched multi-source BFS: the SpMM layer sweep.
+
+The paper's evaluation protocol (Graph500: 64 roots over one graph) and its
+§VI generalization argument (betweenness, connectivity — anything built on
+``y = A ⊗ x``) both traverse the *same* SlimSell layout many times.  Running
+those traversals one at a time re-pays the per-layer gather indexing and all
+Python-level loop overhead once per source.
+
+:class:`MultiSourceBFS` instead carries a frontier **matrix** ``F`` of shape
+``(N, B)`` — one column per source — so each column layer of the chunked
+layout issues a single fancy-index gather ``f[col[idx]]`` and one semiring
+``mul``/``add`` for all ``B`` sources at once: an SpMM sweep instead of B
+separate SpMV sweeps.  The matrix operands (``col``, the derived ``val``)
+stream once per layer regardless of B, which is exactly the amortization
+the batched counter model (:func:`repro.bfs.spmv.synthesize_counters` with
+``batch=B``) accounts for.
+
+Semantics are *bit-identical* to the single-source layer engine, per
+source:
+
+* SlimWork keeps **per-source active-chunk masks**; a chunk enters the SpMM
+  sweep when any still-running source needs it.  Processing a chunk that is
+  settled for some source cannot change that source's column (the settled
+  predicate of every semiring is a fixed point of its update), so per-source
+  results match the per-source skip decisions of the sequential engine.
+* Each source **terminates independently**: its ``newly`` count reaching 0
+  ends its iteration log, its final state column is snapshotted, and the
+  column is compacted out of the frontier matrix — a straggler source only
+  drags live columns (not the whole batch) through its extra layers.  The
+  sweep stops when every source has terminated.
+* Per-source :class:`IterationStats` — processed/skipped chunks, work
+  lanes, and synthesized instruction counters — reproduce the sequential
+  engine's numbers exactly (validated against the chunk engine in tests).
+
+Wall-clock accounting: one sweep's time is shared equally by the sources
+still running, so per-source ``time_s``/``total_time_s`` are amortized
+figures (their sum over a batch equals the batch's true wall clock).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bfs.dp import dp_transform
+from repro.bfs.result import BFSResult, IterationStats
+from repro.bfs.spmv import synthesize_counters
+from repro.formats.sell import SellCSigma
+from repro.graphs.graph import Graph
+from repro.semirings.base import BFSState, SemiringBFS, get_semiring
+
+__all__ = ["MultiSourceBFS", "bfs_msbfs"]
+
+
+class MultiSourceBFS:
+    """Batched BFS-SpMV over a chunked representation (layer engine only).
+
+    Parameters
+    ----------
+    rep:
+        A built :class:`SellCSigma` or :class:`SlimSell`.
+    semiring:
+        A :class:`SemiringBFS` instance or name
+        (``"tropical" | "real" | "boolean" | "sel-max"``).
+    slimwork:
+        §III-C chunk skipping, tracked per source; the SpMM sweep processes
+        the union of the per-source active sets.
+    counting:
+        Synthesize per-source :class:`OpCounters` analytically (identical
+        to the single-source chunk engine's counts).
+    compute_parents:
+        Produce parent vectors (sel-max: native; others: DP transform).
+    max_iters:
+        Safety cap on iterations (defaults to N + 1).
+    """
+
+    def __init__(
+        self,
+        rep: SellCSigma,
+        semiring: SemiringBFS | str = "tropical",
+        *,
+        slimwork: bool = False,
+        counting: bool = False,
+        compute_parents: bool = True,
+        max_iters: int | None = None,
+    ):
+        self.rep = rep
+        self.semiring = get_semiring(semiring) if isinstance(semiring, str) else semiring
+        self.slimwork = bool(slimwork)
+        self.counting = bool(counting)
+        self.compute_parents = bool(compute_parents)
+        self.max_iters = max_iters
+        self.is_slim = not rep.has_val
+        #: (B, per-iteration union sweep stats) of the most recent run().
+        self._last_sweep: tuple[int, list[tuple[int, int, int]]] | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, roots) -> list[BFSResult]:
+        """Traverse from every root in ``roots`` (original vertex ids).
+
+        Duplicate roots, isolated-vertex roots, and batches wider than the
+        graph are all fine — each column is an independent traversal.
+        Returns one :class:`BFSResult` per root, in input order.
+        """
+        rep = self.rep
+        n = rep.n
+        roots = np.asarray(roots, dtype=np.int64)
+        if roots.ndim != 1 or roots.size == 0:
+            raise ValueError("roots must be a non-empty 1-D sequence")
+        bad = (roots < 0) | (roots >= n)
+        if bad.any():
+            raise ValueError(
+                f"root {int(roots[bad][0])} out of range [0, {n})")
+        proots = rep.perm[roots]
+        t0 = time.perf_counter()
+        finals, per_src = self._sweep(proots)
+        total = time.perf_counter() - t0
+        return self._finalize(finals, roots, per_src, total)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _column_state(st: BFSState, j: int) -> BFSState:
+        """Snapshot column ``j`` as a single-source state (for finalize)."""
+        def pick(a):
+            return None if a is None else np.ascontiguousarray(a[:, j])
+
+        return BFSState(f=pick(st.f), d=pick(st.d), n=st.n, N=st.N,
+                        root=st.root, g=pick(st.g), p=pick(st.p))
+
+    @staticmethod
+    def _compact(st: BFSState, keep: np.ndarray) -> None:
+        """Drop terminated columns so later sweeps cost O(live sources)."""
+        st.f = st.f[:, keep]
+        st.d = st.d[:, keep]
+        if st.g is not None:
+            st.g = st.g[:, keep]
+        if st.p is not None:
+            st.p = st.p[:, keep]
+
+    def _sweep(self, proots: np.ndarray):
+        rep, sr = self.rep, self.semiring
+        C, nc, N = rep.C, rep.nc, rep.N
+        B = proots.size
+        st = sr.init_batch_state(rep.n, N, proots)
+        col = rep.col64
+        val = rep.val_for(sr)
+        cs, cl = rep.cs, rep.cl
+        lane_off = np.arange(C, dtype=np.int64)
+        cap = self.max_iters if self.max_iters is not None else N + 1
+        per_src: list[list[IterationStats]] = [[] for _ in range(B)]
+        all_layers = int(cl.sum())
+        col_of = np.arange(B)  # original source of each live state column
+        finals: list[BFSState | None] = [None] * B  # terminal snapshots
+        union_stats: list[tuple[int, int, int]] = []
+        k = 0
+        while k < cap and col_of.size:
+            k += 1
+            st.depth = k
+            t0 = time.perf_counter()
+            width = col_of.size
+            if self.slimwork:
+                settled = sr.settled_lanes(st)                  # (N, width)
+                src_active = ~settled.reshape(nc, C, width).all(axis=1)
+                active = src_active.any(axis=1)  # union over live sources
+            else:
+                src_active = None
+                active = np.ones(nc, dtype=bool)
+            act = np.flatnonzero(active)
+            x_raw = st.f.copy()  # carry: inactive chunks keep their columns
+            f_prev = st.f
+            x3d = x_raw.reshape(nc, C, width)
+            if act.size:
+                # Shrinking-prefix layer sweep, as in the single-source
+                # engine — but every gather/mul/add moves `width` columns.
+                order = np.argsort(-cl[act], kind="stable")
+                srt = act[order]
+                scl = cl[srt]
+                max_l = int(scl[0]) if scl.size else 0
+                for j in range(max_l):
+                    live_count = int(np.searchsorted(-scl, -j, side="left"))
+                    live = srt[:live_count]
+                    if live.size == 0:
+                        break
+                    idx = (cs[live] + j * C)[:, None] + lane_off  # (L, C)
+                    rhs = f_prev[col[idx]]                    # (L, C, width)
+                    contrib = sr.mul(val[idx][..., None], rhs)
+                    x3d[live] = sr.add(x3d[live], contrib)
+            newly = sr.postprocess(st, x_raw)  # int64[width]
+            union_stats.append((int(act.size), int(cl[act].sum()), width))
+            if src_active is not None:
+                # All sources' footprints in two vectorized reductions.
+                proc_all = src_active.sum(axis=0)
+                layers_all = cl @ src_active
+            share = (time.perf_counter() - t0) / width
+            for j, b in enumerate(col_of):
+                if src_active is not None:
+                    proc = int(proc_all[j])
+                    layers = int(layers_all[j])
+                else:
+                    proc, layers = nc, all_layers
+                stat = IterationStats(
+                    k=k, newly=int(newly[j]), time_s=share,
+                    chunks_processed=proc, chunks_skipped=nc - proc,
+                    work_lanes=layers * C)
+                if self.counting:
+                    stat.counters = synthesize_counters(
+                        sr, C, self.is_slim, proc, nc - proc, layers,
+                        self.slimwork)
+                per_src[b].append(stat)
+            dead = newly == 0
+            if dead.any():
+                # A terminated column is a fixed point of the sweep:
+                # snapshot it for finalize and drop it from the state so
+                # stragglers don't drag dead columns through every layer.
+                for j in np.flatnonzero(dead):
+                    finals[col_of[j]] = self._column_state(st, int(j))
+                keep = ~dead
+                self._compact(st, keep)
+                col_of = col_of[keep]
+        for j, b in enumerate(col_of):  # max_iters cap: snapshot leftovers
+            finals[b] = self._column_state(st, int(j))
+        self._last_sweep = (B, union_stats)
+        return finals, per_src
+
+    # ------------------------------------------------------------------
+    def batch_counters(self):
+        """Aggregate SpMM-level counters of the most recent :meth:`run`.
+
+        Per-source counters model B independent SpMV runs; this re-costs
+        the *actual* union sweep of each iteration — the shared
+        ``col``/``val`` streams over the union of the per-source active
+        chunks, charged once, with gathers/compute scaled by the number of
+        columns still live (``synthesize_counters(..., batch=width)``) —
+        quantifying the operand-streaming amortization of the batched
+        engine.
+        """
+        from repro.vec.counters import OpCounters
+
+        if self._last_sweep is None:
+            raise RuntimeError("batch_counters() requires a prior run()")
+        _, union_stats = self._last_sweep
+        out = OpCounters()
+        for proc, layers, width in union_stats:
+            out += synthesize_counters(
+                self.semiring, self.rep.C, self.is_slim, proc,
+                self.rep.nc - proc, layers, self.slimwork, batch=width)
+        return out
+
+    def _finalize(self, finals: list[BFSState], roots: np.ndarray, per_src,
+                  total: float):
+        rep, sr = self.rep, self.semiring
+        B = roots.size
+        method = "spmv-msbfs"
+        if self.slimwork:
+            method += "+slimwork"
+        share = total / B
+        results = []
+        for b in range(B):
+            root = int(roots[b])
+            stc = finals[b]
+            dist = sr.finalize_distances(stc)[rep.perm]  # back to orig ids
+            parent = None
+            if self.compute_parents:
+                pp = sr.finalize_parents(stc)
+                if pp is not None:
+                    pv = pp[rep.perm]
+                    parent = np.where(
+                        pv >= 0, rep.iperm[np.clip(pv, 0, rep.n - 1)], -1)
+                    parent[root] = root
+                else:
+                    parent = dp_transform(rep.graph_original, dist)
+            results.append(BFSResult(
+                dist=dist, parent=parent, root=root, method=method,
+                semiring=sr.name, representation=rep.name,
+                iterations=per_src[b], preprocess_time_s=rep.build_time_s,
+                total_time_s=share))
+        return results
+
+
+def bfs_msbfs(
+    graph_or_rep: Graph | SellCSigma,
+    roots,
+    semiring: str | SemiringBFS = "tropical",
+    *,
+    C: int = 8,
+    sigma: int | None = None,
+    slim: bool = True,
+    slimwork: bool = False,
+    counting: bool = False,
+    compute_parents: bool = True,
+    batch: int | None = None,
+) -> list[BFSResult]:
+    """One-call convenience: batched BFS from every root in ``roots``.
+
+    Mirrors :func:`repro.bfs.spmv.bfs_spmv` — a :class:`SlimSell`
+    (``slim=True``, default) or :class:`SellCSigma` is built when a raw
+    :class:`Graph` is passed.  ``batch`` caps the number of frontier
+    columns per SpMM sweep (``None`` = all roots in one sweep).
+    """
+    if isinstance(graph_or_rep, Graph):
+        from repro.formats.slimsell import SlimSell
+
+        rep_cls = SlimSell if slim else SellCSigma
+        rep = rep_cls(graph_or_rep, C, sigma)
+    else:
+        rep = graph_or_rep
+    engine = MultiSourceBFS(
+        rep, semiring, slimwork=slimwork, counting=counting,
+        compute_parents=compute_parents)
+    roots = np.asarray(roots, dtype=np.int64)
+    if batch is not None and batch < 1:
+        raise ValueError(f"batch must be >= 1 or None, got {batch}")
+    if batch is None or batch >= roots.size:
+        return engine.run(roots)
+    out: list[BFSResult] = []
+    for i in range(0, roots.size, batch):
+        out.extend(engine.run(roots[i:i + batch]))
+    return out

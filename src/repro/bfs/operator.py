@@ -34,7 +34,7 @@ class SlimSpMV:
         self.rep = rep
         self.semiring = (get_semiring(semiring)
                          if isinstance(semiring, str) else semiring)
-        self._col = rep.col.astype(np.int64)
+        self._col = rep.col64  # memoized on the representation
         self._val = rep.val_for(self.semiring)
         self._lane_off = np.arange(rep.C, dtype=np.int64)
         # Precompute the shrinking-prefix order of chunks by length.
@@ -49,16 +49,31 @@ class SlimSpMV:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """One product ``A ⊗ x`` (length-n in, length-n out)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.rep.n,):
+            raise ValueError(
+                f"x must have shape ({self.rep.n},), got {x.shape}")
+        return self.matmat(x[:, None])[:, 0]
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Batched product ``Y = A ⊗ X`` over an ``(n, B)`` column block.
+
+        The SpMM core shared with :meth:`__call__` (a B=1 column block):
+        one fancy-index gather and one semiring ``mul``/``add`` per column
+        layer move all ``B`` columns at once, so the ``col``/``val``
+        streams are read once per layer regardless of B.  Column ``b`` of
+        the result is bit-identical to ``self(X[:, b])``.
+        """
         rep, sr = self.rep, self.semiring
         n, N, C = rep.n, rep.N, rep.C
-        x = np.asarray(x, dtype=np.float64)
-        if x.shape != (n,):
-            raise ValueError(f"x must have shape ({n},), got {x.shape}")
-        # Into permuted space, padded with the ⊕ identity for virtual rows.
-        xp = np.full(N, sr.zero)
-        xp[rep.perm] = x
-        y = np.full(N, sr.zero)
-        y2d = y.reshape(rep.nc, C)
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != n:
+            raise ValueError(f"X must have shape ({n}, B), got {X.shape}")
+        B = X.shape[1]
+        Xp = np.full((N, B), sr.zero)
+        Xp[rep.perm] = X
+        Y = np.full((N, B), sr.zero)
+        y3 = Y.reshape(rep.nc, C, B)
         srt, scl = self._sorted_chunks, self._sorted_cl
         max_l = int(scl[0]) if scl.size else 0
         for j in range(max_l):
@@ -67,9 +82,9 @@ class SlimSpMV:
             if live.size == 0:
                 break
             idx = (rep.cs[live] + j * C)[:, None] + self._lane_off
-            contrib = sr.mul(self._val[idx], xp[self._col[idx]])
-            y2d[live] = sr.add(y2d[live], contrib)
-        return y[rep.perm]
+            contrib = sr.mul(self._val[idx][..., None], Xp[self._col[idx]])
+            y3[live] = sr.add(y3[live], contrib)
+        return Y[rep.perm]
 
     def power_iterate(self, x0: np.ndarray, steps: int) -> np.ndarray:
         """Repeated application: ``A^steps ⊗ x0`` (for diffusion-style uses)."""

@@ -37,21 +37,33 @@ __all__ = ["BFSSpMV", "bfs_spmv", "synthesize_counters"]
 
 def synthesize_counters(semiring: SemiringBFS, C: int, slim: bool,
                         processed_chunks: int, skipped_chunks: int,
-                        processed_layers: int, slimwork: bool) -> OpCounters:
+                        processed_layers: int, slimwork: bool,
+                        batch: int = 1) -> OpCounters:
     """Analytic counter model of one iteration of the chunk engine.
 
     Mirrors exactly what :meth:`BFSSpMV._run_chunk` issues so the layer
     engine can report counters without paying chunk-engine wall clock.
     Validated instruction-for-instruction by the test suite.
+
+    ``batch`` models the SpMM sweep of :mod:`repro.bfs.msbfs`: the streamed
+    ``col``/``val`` loads and the SlimSell CMP+BLEND val derivation happen
+    *once* per column layer regardless of batch width (the matrix operands
+    are shared by all sources), while the gather, the semiring compute
+    instructions, and all per-chunk post-processing scale with ``batch``.
+    ``batch=1`` reproduces the single-source chunk engine exactly.
     """
     c = OpCounters()
+    B = int(batch)
+    if B < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
     inner_loads = 1 if slim else 2  # col only vs val+col
     # Inner loop per column layer: loads, gather, the val derivation
     # (SlimSell: CMP+BLEND), and the semiring's two compute instructions.
+    # The col/val streams (and derived val registers) are batch-shared.
     c.count("LOAD", processed_layers * inner_loads, lanes=processed_layers * inner_loads * C)
     c.load(processed_layers * inner_loads * C)
-    c.count("GATHER", processed_layers, lanes=processed_layers * C)
-    c.load(processed_layers * C, gather=True)
+    c.count("GATHER", processed_layers * B, lanes=processed_layers * B * C)
+    c.load(processed_layers * B * C, gather=True)
     if slim:
         c.count("CMP", processed_layers, lanes=processed_layers * C)
         c.count("BLEND", processed_layers, lanes=processed_layers * C)
@@ -62,8 +74,11 @@ def synthesize_counters(semiring: SemiringBFS, C: int, slim: bool,
         "sel-max": ("MUL", "MAX"),
     }[semiring.name]
     for mnem in kernel:
-        c.count(mnem, processed_layers, lanes=processed_layers * C)
-    # Per processed chunk: the carry load plus the semiring post-processing.
+        c.count(mnem, processed_layers * B, lanes=processed_layers * B * C)
+    # Per processed chunk: the carry load plus the semiring post-processing,
+    # both per source.
+    processed_chunks *= B
+    skipped_chunks *= B
     c.count("LOAD", processed_chunks, lanes=processed_chunks * C)
     c.load(processed_chunks * C)
     post = {
@@ -118,6 +133,11 @@ class BFSSpMV:
         Produce the parent vector (sel-max: native; others: DP transform).
     max_iters:
         Safety cap on iterations (defaults to N + 1).
+    batch:
+        Multi-source batch width used by :meth:`run_many`: ``None``/1 runs
+        sources sequentially; B > 1 traverses B sources per SpMM sweep via
+        the :mod:`repro.bfs.msbfs` engine (layer engine only).  Results are
+        bit-identical to sequential runs.
     """
 
     def __init__(
@@ -131,9 +151,12 @@ class BFSSpMV:
         counting: bool = False,
         compute_parents: bool = True,
         max_iters: int | None = None,
+        batch: int | None = None,
     ):
         if engine not in ("layer", "chunk"):
             raise ValueError(f"engine must be 'layer' or 'chunk', got {engine!r}")
+        if batch is not None and batch < 1:
+            raise ValueError(f"batch must be >= 1 or None, got {batch}")
         self.rep = rep
         self.semiring = get_semiring(semiring) if isinstance(semiring, str) else semiring
         self.slimwork = bool(slimwork)
@@ -142,6 +165,7 @@ class BFSSpMV:
         self.counting = bool(counting)
         self.compute_parents = bool(compute_parents)
         self.max_iters = max_iters
+        self.batch = batch
         self.is_slim = not rep.has_val
 
     # ------------------------------------------------------------------
@@ -161,6 +185,33 @@ class BFSSpMV:
         return self._finalize(st, root, iters, total)
 
     # ------------------------------------------------------------------
+    def run_many(self, roots) -> list:
+        """Traverse from every root, batching ``batch`` sources per sweep.
+
+        With ``batch`` unset (or 1, or the chunk engine) this is a plain
+        sequential loop over :meth:`run`; otherwise roots are chopped into
+        groups of ``batch`` columns and each group is traversed by one
+        multi-source SpMM sweep.  Either way the returned
+        :class:`BFSResult` list is ordered like ``roots`` and bit-identical
+        to sequential execution.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        if roots.ndim != 1:
+            raise ValueError(f"roots must be 1-D, got shape {roots.shape}")
+        if self.batch is None or self.batch <= 1 or self.engine == "chunk":
+            return [self.run(int(r)) for r in roots]
+        from repro.bfs.msbfs import MultiSourceBFS
+
+        ms = MultiSourceBFS(
+            self.rep, self.semiring, slimwork=self.slimwork,
+            counting=self.counting, compute_parents=self.compute_parents,
+            max_iters=self.max_iters)
+        out: list = []
+        for i in range(0, roots.size, self.batch):
+            out.extend(ms.run(roots[i:i + self.batch]))
+        return out
+
+    # ------------------------------------------------------------------
     def _active_chunks(self, st: BFSState) -> np.ndarray:
         """SlimWork chunk mask: process a chunk unless all lanes are settled."""
         rep = self.rep
@@ -173,7 +224,7 @@ class BFSSpMV:
         rep, sr = self.rep, self.semiring
         C, nc, N = rep.C, rep.nc, rep.N
         st = sr.init_state(rep.n, N, proot)
-        col = rep.col.astype(np.int64)
+        col = rep.col64  # memoized on the representation across run() calls
         val = rep.val_for(sr)
         cs, cl = rep.cs, rep.cl
         lane_off = np.arange(C, dtype=np.int64)

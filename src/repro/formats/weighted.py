@@ -103,7 +103,7 @@ def sssp_chunked(rep: WeightedSellCSigma, root: int,
         raise ValueError(f"root {root} out of range [0, {n})")
     sr = get_semiring("tropical")
     C = rep.C
-    col = rep.col.astype(np.int64)
+    col = rep.col64  # memoized on the representation across runs
     val = rep.val_for(sr)
     lane_off = np.arange(C, dtype=np.int64)
     order = np.argsort(-rep.cl, kind="stable")

@@ -26,6 +26,14 @@ class BFSState:
     are virtual rows with no edges, initialized so they never block SlimWork
     skipping or convergence.
 
+    **Batched states** (built by :meth:`SemiringBFS.init_batch_state`) carry
+    a trailing batch axis: every per-vertex array has shape ``(N, B)`` and
+    column ``b`` evolves bit-identically to the single-source state of
+    ``roots[b]``.  The semiring methods that the layer engines call
+    (``postprocess`` / ``settled_lanes`` / ``finalize_*``) are
+    shape-polymorphic: they accept both layouts and return per-source
+    results (shape ``(B,)``) for batched input.
+
     Attributes
     ----------
     f:
@@ -91,14 +99,46 @@ class SemiringBFS(ABC):
     def init_state(self, n: int, N: int, root: int) -> BFSState:
         """Fresh state for a traversal from ``root`` (ids already permuted)."""
 
+    def init_batch_state(self, n: int, N: int, roots: np.ndarray) -> BFSState:
+        """Batched state whose column ``b`` equals ``init_state(n, N, roots[b])``.
+
+        Per-vertex arrays (``f``/``d``/``g``/``p``) gain a trailing batch
+        axis of width ``B = len(roots)``; root-independent extras of shape
+        ``(N,)`` become broadcast-ready ``(N, 1)`` columns.  The batched
+        SpMM engine (:mod:`repro.bfs.msbfs`) relies on every column
+        trajectory being bit-identical to the corresponding single-source
+        state, which this generic construction guarantees for any semiring.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        if roots.ndim != 1 or roots.size == 0:
+            raise ValueError("roots must be a non-empty 1-D array")
+        states = [self.init_state(n, N, int(r)) for r in roots]
+
+        def stack(attr: str) -> np.ndarray | None:
+            cols = [getattr(s, attr) for s in states]
+            return None if cols[0] is None else np.stack(cols, axis=1)
+
+        st = BFSState(f=stack("f"), d=stack("d"), n=n, N=N,
+                      root=int(roots[0]), g=stack("g"), p=stack("p"))
+        st.extras = {
+            key: (value[:, None]
+                  if isinstance(value, np.ndarray) and value.shape == (N,)
+                  else value)
+            for key, value in states[0].extras.items()
+        }
+        return st
+
     @abstractmethod
-    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int:
+    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int | np.ndarray:
         """Whole-array derivation of f_k (and d/g/p updates) from x_k.
 
         ``x_raw`` is the MV result already combined with the carried vector
         (the kernels initialize each chunk register from the carried chunk).
         Returns the number of newly settled vertices; 0 means converged.
         Must write the new carried vector into ``st.f`` (fresh array).
+
+        Shape-polymorphic: on a batched ``(N, B)`` state the same algebra
+        applies column-wise and an ``int64[B]`` per-source count is returned.
         """
 
     @abstractmethod
@@ -146,6 +186,18 @@ class SemiringBFS(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+def count_newly(mask: np.ndarray) -> int | np.ndarray:
+    """Settled-vertex count of a postprocess mask, batch-aware.
+
+    1-D masks (single-source states) reduce to a plain ``int``; ``(N, B)``
+    masks reduce per column to ``int64[B]`` — one count per source, which is
+    what lets the batched engine terminate each source independently.
+    """
+    if mask.ndim == 2:
+        return np.count_nonzero(mask, axis=0)
+    return int(np.count_nonzero(mask))
 
 
 def get_semiring(name: str) -> SemiringBFS:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.semirings.base import BFSState, SemiringBFS
+from repro.semirings.base import BFSState, SemiringBFS, count_newly
 from repro.vec.ops import VectorUnit
 
 #: Upper bound on carried path counts; row sums then stay < 1e308 for any
@@ -45,12 +45,12 @@ class RealSemiring(SemiringBFS):
         return BFSState(f=f, d=d, n=n, N=N, root=root, g=g)
 
     # ------------------------------------------------------------------
-    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int:
+    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int | np.ndarray:
         mask = (x_raw != 0) & (st.g != 0)
         st.d[mask] = st.depth
         st.g[mask] = 0.0
         st.f = np.where(mask, np.minimum(x_raw, PATH_COUNT_CLIP), 0.0)
-        return int(np.count_nonzero(mask))
+        return count_newly(mask)
 
     def chunk_post(self, vu: VectorUnit, st: BFSState, f_next: np.ndarray,
                    addr: int, x: np.ndarray) -> int:

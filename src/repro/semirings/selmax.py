@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.semirings.base import BFSState, SemiringBFS
+from repro.semirings.base import BFSState, SemiringBFS, count_newly
 from repro.vec.ops import VectorUnit
 
 
@@ -45,13 +45,13 @@ class SelMaxSemiring(SemiringBFS):
         return st
 
     # ------------------------------------------------------------------
-    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int:
+    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int | np.ndarray:
         mask = (x_raw != 0) & (st.p == 0)
         st.p[mask] = x_raw[mask]  # parent = max-id visited neighbor
         st.d[mask] = st.depth
         # x_k = nonzero-indicator ⊙ (1..n): each visited vertex carries its id.
         st.f = np.where(x_raw != 0, st.extras["ids1"], 0.0)
-        return int(np.count_nonzero(mask))
+        return count_newly(mask)
 
     def chunk_post(self, vu: VectorUnit, st: BFSState, f_next: np.ndarray,
                    addr: int, x: np.ndarray) -> int:
@@ -85,7 +85,7 @@ class SelMaxSemiring(SemiringBFS):
         return st.d.copy()
 
     def finalize_parents(self, st: BFSState) -> np.ndarray:
-        out = np.full(st.N, -1, dtype=np.int64)
+        out = np.full(st.p.shape, -1, dtype=np.int64)  # (N,) or batched (N, B)
         assigned = st.p > 0
         out[assigned] = st.p[assigned].astype(np.int64) - 1
         return out

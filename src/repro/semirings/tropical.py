@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.semirings.base import BFSState, SemiringBFS
+from repro.semirings.base import BFSState, SemiringBFS, count_newly
 from repro.vec.ops import VectorUnit
 
 
@@ -34,8 +34,8 @@ class TropicalSemiring(SemiringBFS):
         return BFSState(f=f, d=f, n=n, N=N, root=root)
 
     # ------------------------------------------------------------------
-    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int:
-        newly = int(np.count_nonzero(x_raw != st.f))
+    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int | np.ndarray:
+        newly = count_newly(x_raw != st.f)
         st.f = x_raw
         st.d = x_raw
         return newly

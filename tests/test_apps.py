@@ -81,6 +81,24 @@ class TestBetweenness:
         bc = betweenness_centrality(g, C=4, normalized=False)
         assert bc[1] == pytest.approx(2.0)
 
+    @pytest.mark.parametrize("batch", [2, 8, 1024])
+    def test_batched_matches_sequential(self, batch):
+        g = kronecker(7, 6, seed=9)
+        seq = betweenness_centrality(g, C=8, batch=1)
+        bat = betweenness_centrality(g, C=8, batch=batch)
+        np.testing.assert_allclose(bat, seq, atol=1e-12)
+
+    def test_batched_sampled_sources(self):
+        g = kronecker(7, 6, seed=9)
+        srcs = np.arange(0, g.n, 3)
+        seq = betweenness_centrality(g, C=8, sources=srcs, batch=1)
+        bat = betweenness_centrality(g, C=8, sources=srcs, batch=16)
+        np.testing.assert_allclose(bat, seq, atol=1e-12)
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError, match="batch"):
+            betweenness_centrality(path_graph(4), C=4, batch=0)
+
 
 class TestPageRank:
     def test_sums_to_one(self, kron_small):
@@ -137,6 +155,22 @@ class TestConnectivity:
     def test_complete_graph_single_component(self):
         lab = components_via_bfs(complete_graph(6), C=4)
         assert np.all(lab == lab[0])
+
+    @pytest.mark.parametrize("batch", [2, 4, 64])
+    def test_batched_labels_identical_to_sequential(self, batch):
+        g = kronecker(8, 2, seed=1)  # sparse: many components + isolates
+        seq = components_via_bfs(g, C=8, batch=1)
+        bat = components_via_bfs(g, C=8, batch=batch)
+        np.testing.assert_array_equal(seq, bat)
+
+    def test_batched_two_components_plus_isolate(self):
+        lab = components_via_bfs(two_components(), C=4, batch=8)
+        np.testing.assert_array_equal(
+            lab, components_via_bfs(two_components(), C=4, batch=1))
+
+    def test_connectivity_batch_validation(self):
+        with pytest.raises(ValueError, match="batch"):
+            components_via_bfs(path_graph(4), C=4, batch=0)
 
     def test_reachability_oracle(self):
         g = two_components()

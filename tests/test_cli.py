@@ -58,6 +58,37 @@ class TestCommands:
         assert main(["bfs", "er:64,128", "--root", "7"]) == 0
         assert "root=7" in capsys.readouterr().out
 
+    def test_bfs_batched(self, capsys):
+        assert main(["bfs", "kronecker:8,4", "--batch", "4",
+                     "--slimwork"]) == 0
+        out = capsys.readouterr().out
+        assert "batch=4" in out and "batched sweep total" in out
+
+    def test_bfs_batch_requires_spmv(self):
+        with pytest.raises(SystemExit, match="spmv"):
+            main(["bfs", "kronecker:7,4", "--batch", "4",
+                  "--algorithm", "traditional"])
+
+    def test_bfs_batch_requires_layer_engine(self):
+        with pytest.raises(SystemExit, match="layer engine"):
+            main(["bfs", "kronecker:7,4", "--batch", "4",
+                  "--engine", "chunk"])
+
+    def test_bfs_batch_rejects_nonpositive(self):
+        with pytest.raises(SystemExit, match="batch"):
+            main(["bfs", "kronecker:7,4", "--batch", "0"])
+
+    def test_graph500_sequential(self, capsys):
+        assert main(["graph500", "7", "--edgefactor", "4",
+                     "--nroots", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "harmonic-mean TEPS" in out and "sequential" in out
+
+    def test_graph500_batched(self, capsys):
+        assert main(["graph500", "7", "--edgefactor", "4", "--nroots", "4",
+                     "--batch", "4"]) == 0
+        assert "batch=4" in capsys.readouterr().out
+
     def test_storage(self, capsys):
         assert main(["storage", "kronecker:8,4", "-C", "8"]) == 0
         out = capsys.readouterr().out

@@ -112,3 +112,29 @@ class TestKernel:
         assert rpt.harmonic_mean_teps == 0.0
         assert rpt.min_teps == 0.0
         assert rpt.median_time_s == 0.0
+
+
+class TestBatchedKernel:
+    @pytest.mark.parametrize("batch", [4, 64])
+    def test_batched_runs_identical_to_sequential(self, batch):
+        """The headline protocol: batched traversal must visit the same
+        roots, traverse the same edge counts, and pass the same five-check
+        validation as the sequential default engine."""
+        seq = run_graph500(8, 8, nroots=8, seed=2)
+        bat = run_graph500(8, 8, nroots=8, seed=2, batch=batch)
+        assert [r.root for r in seq.runs] == [r.root for r in bat.runs]
+        assert ([r.edges_traversed for r in seq.runs]
+                == [r.edges_traversed for r in bat.runs])
+        assert bat.harmonic_mean_teps > 0
+
+    def test_batch_one_is_sequential(self):
+        rpt = run_graph500(7, 4, nroots=3, seed=0, batch=1)
+        assert len(rpt.runs) == 3
+
+    def test_batch_with_custom_engine_rejected(self):
+        with pytest.raises(ValueError, match="batch"):
+            run_graph500(7, 4, bfs=bfs_top_down, nroots=2, batch=4)
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError, match="batch"):
+            run_graph500(7, 4, nroots=2, batch=0)

@@ -91,6 +91,20 @@ class TestStructuralInvariants:
         for v, newid in enumerate(perm):
             assert v // s == newid // s  # never leaves its window
 
+    @given(degrees=st.lists(st.integers(0, 4), min_size=0, max_size=80),
+           sigma=st.integers(1, 90))
+    @settings(**SETTINGS)
+    def test_sigma_sort_vectorized_matches_loop_reference(self, degrees,
+                                                          sigma):
+        """The padded-reshape argsort must reproduce the per-window loop
+        exactly, including stable-descending tie-breaks (the tiny degree
+        range forces many ties) and partial trailing windows."""
+        from repro.formats.sell import _sigma_sort_permutation_loop
+
+        deg = np.array(degrees, dtype=np.int64)
+        assert np.array_equal(sigma_sort_permutation(deg, sigma),
+                              _sigma_sort_permutation_loop(deg, sigma))
+
     @given(g=random_graph(), seed=st.integers(0, 2**31 - 1))
     @settings(**SETTINGS)
     def test_permute_preserves_isomorphism(self, g, seed):

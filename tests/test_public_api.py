@@ -23,7 +23,7 @@ class TestAPI:
         "repro.formats.sell", "repro.formats.slimsell", "repro.formats.storage",
         "repro.semirings", "repro.semirings.tropical", "repro.semirings.real",
         "repro.semirings.boolean", "repro.semirings.selmax",
-        "repro.bfs", "repro.bfs.spmv", "repro.bfs.spmspv",
+        "repro.bfs", "repro.bfs.spmv", "repro.bfs.spmspv", "repro.bfs.msbfs",
         "repro.bfs.operator", "repro.bfs.traditional",
         "repro.bfs.direction_opt", "repro.bfs.dp", "repro.bfs.slimchunk",
         "repro.bfs.result", "repro.bfs.validate",
