@@ -11,6 +11,11 @@ The central entry points are:
   :class:`~repro.bfs.msbfs.MultiSourceBFS` — the batched multi-source
   engine: one SpMM layer sweep traverses B sources at once, bit-identical
   to B sequential runs.
+* :func:`~repro.bfs.mshybrid.bfs_mshybrid` /
+  :class:`~repro.bfs.mshybrid.MultiSourceHybridBFS` — the batched
+  direction-optimizing engine: each frontier column independently picks
+  push (batched SpMSpV segment pass) or pull (shared SlimWork SpMM sweep)
+  per layer via Beamer's heuristic.
 * :func:`~repro.bfs.traditional.bfs_top_down` — the Graph500-style
   work-efficient queue BFS (the paper's ``Trad-BFS`` comparison target).
 * :func:`~repro.bfs.direction_opt.bfs_direction_optimizing` — Beamer-style
@@ -22,6 +27,7 @@ from repro.bfs.direction_opt import bfs_direction_optimizing
 from repro.bfs.dp import dp_transform
 from repro.bfs.hybrid import bfs_hybrid
 from repro.bfs.msbfs import MultiSourceBFS, bfs_msbfs
+from repro.bfs.mshybrid import MultiSourceHybridBFS, bfs_mshybrid
 from repro.bfs.operator import SlimSpMV
 from repro.bfs.result import BFSResult, IterationStats
 from repro.bfs.spmspv import bfs_spmspv
@@ -38,8 +44,10 @@ __all__ = [
     "IterationStats",
     "BFSSpMV",
     "MultiSourceBFS",
+    "MultiSourceHybridBFS",
     "bfs_spmv",
     "bfs_msbfs",
+    "bfs_mshybrid",
     "bfs_spmspv",
     "bfs_hybrid",
     "SlimSpMV",

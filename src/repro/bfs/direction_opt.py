@@ -18,6 +18,7 @@ import time
 import numpy as np
 
 from repro.bfs.result import BFSResult, IterationStats
+from repro.bfs.spmspv import expand_adjacency
 from repro.bfs.traditional import _expand_frontier
 from repro.graphs.graph import Graph
 
@@ -34,13 +35,11 @@ def _bottom_up_step(graph: Graph, dist: np.ndarray, parent: np.ndarray,
     unvisited = np.flatnonzero(~np.isfinite(dist))
     if unvisited.size == 0:
         return np.empty(0, dtype=np.int64), 0
-    deg = graph.indptr[unvisited + 1] - graph.indptr[unvisited]
-    total = int(deg.sum())
+    nbrs, _ = expand_adjacency(graph, unvisited)
+    total = int(nbrs.size)
     if total == 0:
         return np.empty(0, dtype=np.int64), 0
-    starts = np.repeat(graph.indptr[unvisited], deg)
-    within = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(deg) - deg, deg)
-    nbrs = graph.indices[starts + within].astype(np.int64)
+    deg = graph.indptr[unvisited + 1] - graph.indptr[unvisited]
     hit = in_frontier[nbrs]
     # Segment-max picks one frontier parent per vertex (−1 = none found).
     cand = np.where(hit, nbrs, np.int64(-1))

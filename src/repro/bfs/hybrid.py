@@ -13,6 +13,14 @@ SlimSell").  In algebraic terms the two directions are:
 
 The switch uses Beamer's edge-mass heuristic, exactly like the
 combinatorial :mod:`repro.bfs.direction_opt`.
+
+Iteration-stats contract (shared with :mod:`repro.bfs.mshybrid`): every
+iteration is labeled ``direction`` ``"push"`` or ``"pull"``;
+``work_lanes`` always holds the total work issued — padded lanes
+``Σ cl[active]·C`` on pull iterations, adjacency entries examined on push
+iterations — so per-iteration work series are comparable across
+directions.  ``chunks_processed``/``chunks_skipped`` are nonzero only on
+pull iterations, ``edges_examined`` only on push iterations.
 """
 
 from __future__ import annotations
@@ -21,7 +29,9 @@ import time
 
 import numpy as np
 
+from repro.bfs.msbfs import spmm_layer_sweep
 from repro.bfs.result import BFSResult, IterationStats
+from repro.bfs.spmspv import expand_adjacency
 from repro.bfs.spmv import BFSSpMV
 from repro.formats.sell import SellCSigma
 from repro.graphs.graph import Graph
@@ -83,7 +93,7 @@ def bfs_hybrid(
             st.depth = k
             active = pull._active_chunks(st)
             x_raw = st.f.copy()
-            _pull_sweep(rep, sr, st.f, x_raw, active)
+            spmm_layer_sweep(rep, sr, st.f, x_raw, np.flatnonzero(active))
             st.f = x_raw
             dist_new = x_raw[rep.perm]
             newly = np.flatnonzero(dist_new < dist)
@@ -97,13 +107,9 @@ def bfs_hybrid(
                 direction="pull")
         else:
             # Sparse push: expand the frontier's adjacency lists.
-            deg = graph.indptr[frontier + 1] - graph.indptr[frontier]
-            total = int(deg.sum())
+            nbrs, _ = expand_adjacency(graph, frontier)
+            total = int(nbrs.size)
             if total:
-                starts = np.repeat(graph.indptr[frontier], deg)
-                within = (np.arange(total, dtype=np.int64)
-                          - np.repeat(np.cumsum(deg) - deg, deg))
-                nbrs = graph.indices[starts + within].astype(np.int64)
                 cand = np.unique(nbrs[~np.isfinite(dist[nbrs])])
             else:
                 cand = np.empty(0, dtype=np.int64)
@@ -112,6 +118,7 @@ def bfs_hybrid(
             stats = IterationStats(
                 k=k, newly=int(cand.size),
                 time_s=time.perf_counter() - t_it,
+                work_lanes=total,  # push work = adjacency entries examined
                 edges_examined=total, direction="push")
         explored += int(degrees[newly].sum())
         frontier = newly
@@ -125,26 +132,3 @@ def bfs_hybrid(
         representation=rep.name, iterations=iters,
         preprocess_time_s=rep.build_time_s,
         total_time_s=time.perf_counter() - t0)
-
-
-def _pull_sweep(rep: SellCSigma, sr, f_prev: np.ndarray, x_raw: np.ndarray,
-                active: np.ndarray) -> None:
-    """One layer-engine tropical sweep over the active chunks (in place)."""
-    C = rep.C
-    col = rep.col64  # memoized on the representation across sweeps
-    val = rep.val_for(sr)
-    lane_off = np.arange(C, dtype=np.int64)
-    act = np.flatnonzero(active)
-    if act.size == 0:
-        return
-    order = np.argsort(-rep.cl[act], kind="stable")
-    srt = act[order]
-    scl = rep.cl[srt]
-    x2d = x_raw.reshape(rep.nc, C)
-    for j in range(int(scl[0]) if scl.size else 0):
-        live = srt[: int(np.searchsorted(-scl, -j, side="left"))]
-        if live.size == 0:
-            break
-        idx = (rep.cs[live] + j * C)[:, None] + lane_off
-        contrib = sr.mul(val[idx], f_prev[col[idx]])
-        x2d[live] = sr.add(x2d[live], contrib)

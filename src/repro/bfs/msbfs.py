@@ -50,7 +50,166 @@ from repro.formats.sell import SellCSigma
 from repro.graphs.graph import Graph
 from repro.semirings.base import BFSState, SemiringBFS, get_semiring
 
-__all__ = ["MultiSourceBFS", "bfs_msbfs"]
+__all__ = [
+    "MultiSourceBFS",
+    "bfs_msbfs",
+    "build_rep",
+    "compact_columns",
+    "finalize_batch",
+    "run_in_batches",
+    "snapshot_column",
+    "spmm_layer_sweep",
+    "validate_roots",
+]
+
+
+def validate_roots(rep: SellCSigma, roots) -> np.ndarray:
+    """Normalize a roots sequence (original vertex ids) to ``int64[B]``.
+
+    Shared by every batched engine: rejects empty/non-1-D input and
+    out-of-range ids with one error contract.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    if roots.ndim != 1 or roots.size == 0:
+        raise ValueError("roots must be a non-empty 1-D sequence")
+    bad = (roots < 0) | (roots >= rep.n)
+    if bad.any():
+        raise ValueError(
+            f"root {int(roots[bad][0])} out of range [0, {rep.n})")
+    return roots
+
+
+def build_rep(graph_or_rep: Graph | SellCSigma, C: int, sigma: int | None,
+              slim: bool) -> SellCSigma:
+    """Pass a built representation through; build one from a raw graph."""
+    if isinstance(graph_or_rep, Graph):
+        from repro.formats.slimsell import SlimSell
+
+        rep_cls = SlimSell if slim else SellCSigma
+        return rep_cls(graph_or_rep, C, sigma)
+    return graph_or_rep
+
+
+def run_in_batches(engine, roots, batch: int | None) -> list[BFSResult]:
+    """Chop ``roots`` into groups of ``batch`` columns per ``engine.run``.
+
+    ``None`` (or a width >= the root count) runs one sweep; results are
+    ordered like ``roots`` either way.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    if batch is not None and batch < 1:
+        raise ValueError(f"batch must be >= 1 or None, got {batch}")
+    if batch is None or batch >= roots.size:
+        return engine.run(roots)
+    out: list[BFSResult] = []
+    for i in range(0, roots.size, batch):
+        out.extend(engine.run(roots[i:i + batch]))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Shared sweep machinery: the batched engines (this module's all-pull
+# SpMM engine, the single-source hybrid in :mod:`repro.bfs.hybrid`, and
+# the direction-optimizing batch engine in :mod:`repro.bfs.mshybrid`)
+# all drive the same shrinking-prefix column-layer kernel and the same
+# per-column state bookkeeping, so those pieces live here as functions.
+# ----------------------------------------------------------------------
+def spmm_layer_sweep(rep: SellCSigma, sr: SemiringBFS, f_prev: np.ndarray,
+                     x_out: np.ndarray, act: np.ndarray) -> None:
+    """One semiring layer sweep over the active chunks, in place.
+
+    ``f_prev`` is the gathered operand — ``(N,)`` for a single source or
+    ``(N, W)`` for a batch of W frontier columns; ``x_out`` is a contiguous
+    accumulator of the same shape that already carries ``f_prev``'s values
+    (inactive chunks keep their columns untouched).  ``act`` holds the
+    indices of the chunks to process.  The matrix operands come from the
+    representation's memoized ``col64``/``val_for`` caches, so repeated
+    sweeps stream the same arrays.
+
+    Active chunks are sorted by descending length so the live set of each
+    successive column layer is a shrinking prefix; every gather/mul/add of
+    a layer then moves all W columns at once (the SpMM amortization).
+    """
+    if act.size == 0:
+        return
+    if not x_out.flags["C_CONTIGUOUS"]:
+        # reshape() on a non-contiguous accumulator would return a copy and
+        # silently discard every chunk update — fail loudly instead.
+        raise ValueError("x_out must be C-contiguous (pass a materialized "
+                         "column block, not a sliced view)")
+    C = rep.C
+    col = rep.col64
+    val = rep.val_for(sr)
+    cs, cl = rep.cs, rep.cl
+    lane_off = np.arange(C, dtype=np.int64)
+    batched = f_prev.ndim == 2
+    x_nd = x_out.reshape((rep.nc, C, -1) if batched else (rep.nc, C))
+    order = np.argsort(-cl[act], kind="stable")
+    srt = act[order]
+    scl = cl[srt]
+    max_l = int(scl[0]) if scl.size else 0
+    for j in range(max_l):
+        live = srt[: int(np.searchsorted(-scl, -j, side="left"))]
+        if live.size == 0:
+            break
+        idx = (cs[live] + j * C)[:, None] + lane_off  # (L, C)
+        vals = val[idx][..., None] if batched else val[idx]
+        contrib = sr.mul(vals, f_prev[col[idx]])
+        x_nd[live] = sr.add(x_nd[live], contrib)
+
+
+def snapshot_column(st: BFSState, j: int) -> BFSState:
+    """Snapshot column ``j`` of a batched state as a single-source state."""
+    def pick(a):
+        return None if a is None else np.ascontiguousarray(a[:, j])
+
+    return BFSState(f=pick(st.f), d=pick(st.d), n=st.n, N=st.N,
+                    root=st.root, g=pick(st.g), p=pick(st.p))
+
+
+def compact_columns(st: BFSState, keep: np.ndarray) -> None:
+    """Drop terminated columns so later sweeps cost O(live sources)."""
+    st.f = st.f[:, keep]
+    st.d = st.d[:, keep]
+    if st.g is not None:
+        st.g = st.g[:, keep]
+    if st.p is not None:
+        st.p = st.p[:, keep]
+
+
+def finalize_batch(rep: SellCSigma, sr: SemiringBFS,
+                   finals: list[BFSState], roots: np.ndarray,
+                   per_src: list[list[IterationStats]], total: float,
+                   method: str, compute_parents: bool) -> list[BFSResult]:
+    """Turn per-column terminal state snapshots into :class:`BFSResult`\\ s.
+
+    Distances and (sel-max) parents are mapped back to original vertex ids;
+    other semirings derive parents with the DP transformation.  The batch's
+    wall clock ``total`` is shared equally by the sources.
+    """
+    B = roots.size
+    share = total / B
+    results = []
+    for b in range(B):
+        root = int(roots[b])
+        stc = finals[b]
+        dist = sr.finalize_distances(stc)[rep.perm]  # back to orig ids
+        parent = None
+        if compute_parents:
+            pp = sr.finalize_parents(stc)
+            if pp is not None:
+                pv = pp[rep.perm]
+                parent = np.where(
+                    pv >= 0, rep.iperm[np.clip(pv, 0, rep.n - 1)], -1)
+                parent[root] = root
+            else:
+                parent = dp_transform(rep.graph_original, dist)
+        results.append(BFSResult(
+            dist=dist, parent=parent, root=root, method=method,
+            semiring=sr.name, representation=rep.name,
+            iterations=per_src[b], preprocess_time_s=rep.build_time_s,
+            total_time_s=share))
+    return results
 
 
 class MultiSourceBFS:
@@ -104,49 +263,19 @@ class MultiSourceBFS:
         Returns one :class:`BFSResult` per root, in input order.
         """
         rep = self.rep
-        n = rep.n
-        roots = np.asarray(roots, dtype=np.int64)
-        if roots.ndim != 1 or roots.size == 0:
-            raise ValueError("roots must be a non-empty 1-D sequence")
-        bad = (roots < 0) | (roots >= n)
-        if bad.any():
-            raise ValueError(
-                f"root {int(roots[bad][0])} out of range [0, {n})")
+        roots = validate_roots(rep, roots)
         proots = rep.perm[roots]
         t0 = time.perf_counter()
         finals, per_src = self._sweep(proots)
         total = time.perf_counter() - t0
         return self._finalize(finals, roots, per_src, total)
 
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _column_state(st: BFSState, j: int) -> BFSState:
-        """Snapshot column ``j`` as a single-source state (for finalize)."""
-        def pick(a):
-            return None if a is None else np.ascontiguousarray(a[:, j])
-
-        return BFSState(f=pick(st.f), d=pick(st.d), n=st.n, N=st.N,
-                        root=st.root, g=pick(st.g), p=pick(st.p))
-
-    @staticmethod
-    def _compact(st: BFSState, keep: np.ndarray) -> None:
-        """Drop terminated columns so later sweeps cost O(live sources)."""
-        st.f = st.f[:, keep]
-        st.d = st.d[:, keep]
-        if st.g is not None:
-            st.g = st.g[:, keep]
-        if st.p is not None:
-            st.p = st.p[:, keep]
-
     def _sweep(self, proots: np.ndarray):
         rep, sr = self.rep, self.semiring
         C, nc, N = rep.C, rep.nc, rep.N
         B = proots.size
         st = sr.init_batch_state(rep.n, N, proots)
-        col = rep.col64
-        val = rep.val_for(sr)
-        cs, cl = rep.cs, rep.cl
-        lane_off = np.arange(C, dtype=np.int64)
+        cl = rep.cl
         cap = self.max_iters if self.max_iters is not None else N + 1
         per_src: list[list[IterationStats]] = [[] for _ in range(B)]
         all_layers = int(cl.sum())
@@ -168,24 +297,9 @@ class MultiSourceBFS:
                 active = np.ones(nc, dtype=bool)
             act = np.flatnonzero(active)
             x_raw = st.f.copy()  # carry: inactive chunks keep their columns
-            f_prev = st.f
-            x3d = x_raw.reshape(nc, C, width)
-            if act.size:
-                # Shrinking-prefix layer sweep, as in the single-source
-                # engine — but every gather/mul/add moves `width` columns.
-                order = np.argsort(-cl[act], kind="stable")
-                srt = act[order]
-                scl = cl[srt]
-                max_l = int(scl[0]) if scl.size else 0
-                for j in range(max_l):
-                    live_count = int(np.searchsorted(-scl, -j, side="left"))
-                    live = srt[:live_count]
-                    if live.size == 0:
-                        break
-                    idx = (cs[live] + j * C)[:, None] + lane_off  # (L, C)
-                    rhs = f_prev[col[idx]]                    # (L, C, width)
-                    contrib = sr.mul(val[idx][..., None], rhs)
-                    x3d[live] = sr.add(x3d[live], contrib)
+            # Shrinking-prefix layer sweep, as in the single-source
+            # engine — but every gather/mul/add moves `width` columns.
+            spmm_layer_sweep(rep, sr, st.f, x_raw, act)
             newly = sr.postprocess(st, x_raw)  # int64[width]
             union_stats.append((int(act.size), int(cl[act].sum()), width))
             if src_active is not None:
@@ -214,12 +328,12 @@ class MultiSourceBFS:
                 # snapshot it for finalize and drop it from the state so
                 # stragglers don't drag dead columns through every layer.
                 for j in np.flatnonzero(dead):
-                    finals[col_of[j]] = self._column_state(st, int(j))
+                    finals[col_of[j]] = snapshot_column(st, int(j))
                 keep = ~dead
-                self._compact(st, keep)
+                compact_columns(st, keep)
                 col_of = col_of[keep]
         for j, b in enumerate(col_of):  # max_iters cap: snapshot leftovers
-            finals[b] = self._column_state(st, int(j))
+            finals[b] = snapshot_column(st, int(j))
         self._last_sweep = (B, union_stats)
         return finals, per_src
 
@@ -249,33 +363,11 @@ class MultiSourceBFS:
 
     def _finalize(self, finals: list[BFSState], roots: np.ndarray, per_src,
                   total: float):
-        rep, sr = self.rep, self.semiring
-        B = roots.size
         method = "spmv-msbfs"
         if self.slimwork:
             method += "+slimwork"
-        share = total / B
-        results = []
-        for b in range(B):
-            root = int(roots[b])
-            stc = finals[b]
-            dist = sr.finalize_distances(stc)[rep.perm]  # back to orig ids
-            parent = None
-            if self.compute_parents:
-                pp = sr.finalize_parents(stc)
-                if pp is not None:
-                    pv = pp[rep.perm]
-                    parent = np.where(
-                        pv >= 0, rep.iperm[np.clip(pv, 0, rep.n - 1)], -1)
-                    parent[root] = root
-                else:
-                    parent = dp_transform(rep.graph_original, dist)
-            results.append(BFSResult(
-                dist=dist, parent=parent, root=root, method=method,
-                semiring=sr.name, representation=rep.name,
-                iterations=per_src[b], preprocess_time_s=rep.build_time_s,
-                total_time_s=share))
-        return results
+        return finalize_batch(self.rep, self.semiring, finals, roots, per_src,
+                              total, method, self.compute_parents)
 
 
 def bfs_msbfs(
@@ -298,22 +390,8 @@ def bfs_msbfs(
     :class:`Graph` is passed.  ``batch`` caps the number of frontier
     columns per SpMM sweep (``None`` = all roots in one sweep).
     """
-    if isinstance(graph_or_rep, Graph):
-        from repro.formats.slimsell import SlimSell
-
-        rep_cls = SlimSell if slim else SellCSigma
-        rep = rep_cls(graph_or_rep, C, sigma)
-    else:
-        rep = graph_or_rep
     engine = MultiSourceBFS(
-        rep, semiring, slimwork=slimwork, counting=counting,
+        build_rep(graph_or_rep, C, sigma, slim), semiring,
+        slimwork=slimwork, counting=counting,
         compute_parents=compute_parents)
-    roots = np.asarray(roots, dtype=np.int64)
-    if batch is not None and batch < 1:
-        raise ValueError(f"batch must be >= 1 or None, got {batch}")
-    if batch is None or batch >= roots.size:
-        return engine.run(roots)
-    out: list[BFSResult] = []
-    for i in range(0, roots.size, batch):
-        out.extend(engine.run(roots[i:i + batch]))
-    return out
+    return run_in_batches(engine, roots, batch)

@@ -18,6 +18,13 @@ from repro.vec.counters import OpCounters
 class IterationStats:
     """Measurements of one BFS iteration (frontier expansion).
 
+    Counter contract (tested in ``test_mshybrid.py``/``test_hybrid.py``):
+    ``chunks_processed``/``chunks_skipped`` are nonzero only on chunked
+    SpMV/pull iterations, ``edges_examined`` only on sparse/push/
+    traditional iterations, and ``work_lanes`` always reports the total
+    work issued — padded lanes on pull, adjacency entries on push — so
+    per-iteration work series are comparable across directions.
+
     Attributes
     ----------
     k:
@@ -27,13 +34,17 @@ class IterationStats:
     time_s:
         Wall-clock seconds of this iteration.
     chunks_processed / chunks_skipped:
-        SpMV engines: chunk counts (skipped = SlimWork).
+        SpMV engines and pull iterations: chunk counts (skipped =
+        SlimWork); always ``chunks_processed + chunks_skipped == nc``.
     work_lanes:
-        SpMV engines: Σ cl[i]·C over processed chunks — the padded work.
+        Total work issued: Σ cl[i]·C over processed chunks (pull/SpMV,
+        a multiple of C) or adjacency entries examined (push/sparse).
     edges_examined:
-        Traditional engines: adjacency entries touched.
+        Traditional engines and push iterations: adjacency entries touched.
     direction:
-        Traditional engines: ``"top-down"`` or ``"bottom-up"``.
+        ``"top-down"``/``"bottom-up"`` (combinatorial engines),
+        ``"push"``/``"pull"`` (hybrid engines), ``"spmspv"``, or ``""``
+        (pure SpMV engines).
     counters:
         Vector-ISA counters for this iteration (chunk engine with
         ``counting=True``), else ``None``.

@@ -28,9 +28,33 @@ from repro.bfs.result import BFSResult, IterationStats
 from repro.graphs.graph import Graph
 from repro.semirings.base import SemiringBFS, get_semiring
 
-__all__ = ["bfs_spmspv"]
+__all__ = ["bfs_spmspv", "expand_adjacency"]
 
 _MERGES = ("nosort", "sort", "radix")
+
+
+def expand_adjacency(graph: Graph, vertices: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated neighbor lists of ``vertices`` (with multiplicity).
+
+    Returns ``(nbrs, seg)``: the flattened neighbor ids (``int64``) and,
+    aligned with them, the position in ``vertices`` each neighbor came from
+    — the vectorized form of ``[(w, i) for i, v in enumerate(vertices)
+    for w in adj[v]]``.  This is the shared "push" primitive: SpMSpV
+    products, the hybrid engines' sparse expansion, and the bottom-up
+    parent hunt all start from it.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    deg = graph.indptr[vertices + 1] - graph.indptr[vertices]
+    total = int(deg.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    starts = np.repeat(graph.indptr[vertices], deg)
+    within = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(deg) - deg, deg)
+    nbrs = graph.indices[starts + within].astype(np.int64)
+    seg = np.repeat(np.arange(vertices.size, dtype=np.int64), deg)
+    return nbrs, seg
 
 
 def _gather_products(graph: Graph, frontier: np.ndarray,
@@ -41,15 +65,10 @@ def _gather_products(graph: Graph, frontier: np.ndarray,
     For BFS the matrix entries are ``edge_value``; each frontier vertex v
     contributes ``edge_value ⊗ f[v]`` to every neighbor.
     """
-    deg = graph.indptr[frontier + 1] - graph.indptr[frontier]
-    total = int(deg.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64), np.empty(0)
-    starts = np.repeat(graph.indptr[frontier], deg)
-    within = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(deg) - deg, deg)
-    cols = graph.indices[starts + within].astype(np.int64)
-    vals = semiring.mul(np.full(total, semiring.edge_value),
-                        np.repeat(fvals, deg))
+    cols, seg = expand_adjacency(graph, frontier)
+    if cols.size == 0:
+        return cols, np.empty(0)
+    vals = semiring.mul(np.full(cols.size, semiring.edge_value), fvals[seg])
     return cols, np.asarray(vals, dtype=np.float64)
 
 

@@ -67,28 +67,43 @@ def _cmd_bfs(args) -> int:
     root = args.root if args.root >= 0 else int(np.argmax(g.degrees))
     if args.batch < 1:
         raise SystemExit(f"--batch must be >= 1, got {args.batch}")
-    if args.batch > 1:
+    if args.alpha is not None and not args.hybrid:
+        raise SystemExit("--alpha requires --hybrid")
+    if args.batch > 1 or args.hybrid:
         if args.algorithm != "spmv":
-            raise SystemExit("--batch requires --algorithm spmv")
+            raise SystemExit("--batch/--hybrid require --algorithm spmv")
         if args.engine == "chunk":
-            raise SystemExit("--batch requires the layer engine "
+            raise SystemExit("--batch/--hybrid require the layer engine "
                              "(the chunk engine is single-source)")
-        from repro.bfs.msbfs import bfs_msbfs
-
         # Batch the requested root with the next-highest-degree vertices:
         # a deterministic multi-source workload over one SpMM sweep.
         by_degree = np.argsort(-g.degrees, kind="stable")
         roots = by_degree[by_degree != root][: args.batch - 1]
         roots = np.concatenate([[root], roots])
-        results = bfs_msbfs(g, roots, args.semiring, C=args.chunk,
-                            sigma=args.sigma, slim=not args.sell,
-                            slimwork=args.slimwork)
+        if args.hybrid:
+            from repro.bfs.mshybrid import bfs_mshybrid
+
+            results = bfs_mshybrid(
+                g, roots, args.semiring, C=args.chunk, sigma=args.sigma,
+                slim=not args.sell, slimwork=args.slimwork,
+                alpha=args.alpha if args.alpha is not None else 14.0)
+        else:
+            from repro.bfs.msbfs import bfs_msbfs
+
+            results = bfs_msbfs(g, roots, args.semiring, C=args.chunk,
+                                sigma=args.sigma, slim=not args.sell,
+                                slimwork=args.slimwork)
         total = sum(r.total_time_s for r in results)
         print(f"method={results[0].method} semiring={results[0].semiring} "
               f"batch={len(results)}")
         for r in results:
-            print(f"  root {r.root}: reached {r.reached}/{g.n}, "
-                  f"depth {r.eccentricity}, {r.n_iterations} iterations")
+            line = (f"  root {r.root}: reached {r.reached}/{g.n}, "
+                    f"depth {r.eccentricity}, {r.n_iterations} iterations")
+            if args.hybrid:
+                dirs = [it.direction for it in r.iterations]
+                line += (f" ({dirs.count('push')} push / "
+                         f"{dirs.count('pull')} pull)")
+            print(line)
         print(f"batched sweep total {total * 1e3:.2f} ms "
               f"({total / len(results) * 1e3:.2f} ms/source amortized)")
         return 0
@@ -116,11 +131,17 @@ def _cmd_bfs(args) -> int:
 def _cmd_graph500(args) -> int:
     from repro.graph500 import run_graph500
 
+    if args.alpha is not None and not args.hybrid:
+        raise SystemExit("--alpha requires --hybrid")
     report = run_graph500(
         args.scale, args.edgefactor, nroots=args.nroots, seed=args.seed,
         validate=not args.no_validate,
-        batch=args.batch if args.batch > 1 else None)
+        batch=args.batch if args.batch > 1 else None,
+        hybrid=args.hybrid,
+        alpha=args.alpha if args.alpha is not None else 14.0)
     mode = f"batch={args.batch}" if args.batch > 1 else "sequential"
+    if args.hybrid:
+        mode += ", hybrid"
     print(f"graph500 scale={report.scale} edgefactor={report.edgefactor} "
           f"n={report.n} m={report.m} roots={len(report.runs)} ({mode})")
     print(f"construction {report.construction_time_s * 1e3:.1f} ms")
@@ -231,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--batch", type=int, default=1,
                    help="multi-source batch width: traverse from this many "
                         "roots in one SpMM sweep (spmv only)")
+    b.add_argument("--hybrid", action="store_true",
+                   help="direction-optimizing engine: each batched source "
+                        "picks push or pull per layer (spmv only)")
+    b.add_argument("--alpha", type=float, default=None,
+                   help="Beamer threshold for --hybrid (pull when frontier "
+                        "edge mass > unexplored / alpha; default 14)")
     b.add_argument("--verbose", "-v", action="store_true")
     b.set_defaults(fn=_cmd_bfs)
 
@@ -242,6 +269,10 @@ def build_parser() -> argparse.ArgumentParser:
     g5.add_argument("--seed", type=int, default=1)
     g5.add_argument("--batch", type=int, default=1,
                     help="roots per multi-source SpMM batch (1 = sequential)")
+    g5.add_argument("--hybrid", action="store_true",
+                    help="direction-optimizing engine (per-column push/pull)")
+    g5.add_argument("--alpha", type=float, default=None,
+                    help="Beamer threshold for --hybrid (default 14)")
     g5.add_argument("--no-validate", action="store_true",
                     help="skip the five-check tree validation")
     g5.set_defaults(fn=_cmd_graph500)

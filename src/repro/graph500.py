@@ -142,6 +142,8 @@ def run_graph500(
     seed: int = 1,
     validate: bool = True,
     batch: int | None = None,
+    hybrid: bool = False,
+    alpha: float = 14.0,
 ) -> Graph500Report:
     """Execute the Graph500 kernel protocol.
 
@@ -165,22 +167,39 @@ def run_graph500(
         the sequential path; each run's recorded time is its batch's wall
         clock divided by the batch width (so TEPS reflect the amortized
         per-source cost).
+    hybrid:
+        Use the direction-optimizing engine instead of the all-pull one
+        (default engine only): Beamer push/pull per column, batched when
+        ``batch`` is set (:class:`repro.bfs.mshybrid.MultiSourceHybridBFS`).
+        Results stay bit-identical — only the work per iteration changes.
+    alpha:
+        Beamer threshold for ``hybrid=True``.
     """
-    if batch is not None and bfs is not None:
-        raise ValueError("batch= applies to the default engine; "
-                         "pass either bfs or batch, not both")
+    if bfs is not None and (batch is not None or hybrid):
+        raise ValueError("batch=/hybrid= apply to the default engine; "
+                         "pass either bfs or batch/hybrid, not both")
     if batch is not None and batch < 1:
         raise ValueError(f"batch must be >= 1 or None, got {batch}")
     t0 = time.perf_counter()
     graph = kronecker(scale, edgefactor, seed=seed)
-    engine = None
+    run_group = None
     if bfs is None:
-        from repro.bfs.spmv import BFSSpMV
         from repro.formats.slimsell import SlimSell
 
         rep = SlimSell(graph, 16, graph.n)
-        engine = BFSSpMV(rep, "sel-max", slimwork=True, batch=batch)
-        bfs = lambda g, r: engine.run(r)  # noqa: E731 - concise default
+        if hybrid:
+            from repro.bfs.mshybrid import MultiSourceHybridBFS
+
+            engine = MultiSourceHybridBFS(rep, "sel-max", alpha=alpha,
+                                          slimwork=True)
+            bfs = lambda g, r: engine.run([r])[0]  # noqa: E731
+            run_group = engine.run
+        else:
+            from repro.bfs.spmv import BFSSpMV
+
+            engine = BFSSpMV(rep, "sel-max", slimwork=True, batch=batch)
+            bfs = lambda g, r: engine.run(r)  # noqa: E731 - concise default
+            run_group = engine.run_many
     construction = time.perf_counter() - t0
 
     rng = np.random.default_rng(seed + 1)
@@ -204,7 +223,7 @@ def run_graph500(
         for i in range(0, roots.size, batch):
             group = roots[i:i + batch]
             t1 = time.perf_counter()
-            results = engine.run_many(group)
+            results = run_group(group)
             elapsed = (time.perf_counter() - t1) / group.size
             for root, res in zip(group, results):
                 record(int(root), res, elapsed)

@@ -129,13 +129,35 @@ class SemiringBFS(ABC):
         return st
 
     @abstractmethod
-    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int | np.ndarray:
+    def newly_mask(self, st: BFSState, x_raw: np.ndarray) -> np.ndarray:
+        """Bool mask of vertices settled by this iteration's product.
+
+        ``x_raw`` is the MV result combined with the carried vector, *before*
+        :meth:`postprocess` has consumed it — the mask is exactly the set of
+        vertices ``postprocess`` would newly settle, i.e. the next frontier.
+        Shape-polymorphic: ``(N,)`` states yield a ``(N,)`` mask, batched
+        ``(N, B)`` states a ``(N, B)`` mask (column-wise independent).
+
+        The direction-optimizing engines (:mod:`repro.bfs.mshybrid`) rely on
+        this to keep an explicit frontier across push/pull direction changes:
+        a push step writes its sparse expansion into ``x_raw`` and the mask
+        mirrors the resulting frontier back into the batched state exactly as
+        a pull sweep would have.
+        """
+
+    @abstractmethod
+    def postprocess(self, st: BFSState, x_raw: np.ndarray,
+                    newly: np.ndarray | None = None) -> int | np.ndarray:
         """Whole-array derivation of f_k (and d/g/p updates) from x_k.
 
         ``x_raw`` is the MV result already combined with the carried vector
         (the kernels initialize each chunk register from the carried chunk).
         Returns the number of newly settled vertices; 0 means converged.
         Must write the new carried vector into ``st.f`` (fresh array).
+        The settled set is ``newly_mask(st, x_raw)``; implementations share
+        that predicate so the two views can never drift apart.  An engine
+        that already evaluated it (the hybrid engines keep the mask as the
+        next frontier) passes it as ``newly`` to skip the second pass.
 
         Shape-polymorphic: on a batched ``(N, B)`` state the same algebra
         applies column-wise and an ``int64[B]`` per-source count is returned.

@@ -41,8 +41,13 @@ class BooleanSemiring(SemiringBFS):
         return BFSState(f=f, d=d, n=n, N=N, root=root, g=g)
 
     # ------------------------------------------------------------------
-    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int | np.ndarray:
-        mask = (x_raw != 0) & (st.g != 0)
+    def newly_mask(self, st: BFSState, x_raw: np.ndarray) -> np.ndarray:
+        # Reached this iteration and not yet visited per the filter g.
+        return (x_raw != 0) & (st.g != 0)
+
+    def postprocess(self, st: BFSState, x_raw: np.ndarray,
+                    newly: np.ndarray | None = None) -> int | np.ndarray:
+        mask = self.newly_mask(st, x_raw) if newly is None else newly
         st.d[mask] = st.depth
         st.g[mask] = 0.0
         st.f = mask.astype(np.float64)

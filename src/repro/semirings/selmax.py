@@ -45,8 +45,14 @@ class SelMaxSemiring(SemiringBFS):
         return st
 
     # ------------------------------------------------------------------
-    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int | np.ndarray:
-        mask = (x_raw != 0) & (st.p == 0)
+    def newly_mask(self, st: BFSState, x_raw: np.ndarray) -> np.ndarray:
+        # Got a visited-neighbor id and has no parent yet (p = -1 on the
+        # virtual padded rows, so they are never counted as settled).
+        return (x_raw != 0) & (st.p == 0)
+
+    def postprocess(self, st: BFSState, x_raw: np.ndarray,
+                    newly: np.ndarray | None = None) -> int | np.ndarray:
+        mask = self.newly_mask(st, x_raw) if newly is None else newly
         st.p[mask] = x_raw[mask]  # parent = max-id visited neighbor
         st.d[mask] = st.depth
         # x_k = nonzero-indicator ⊙ (1..n): each visited vertex carries its id.

@@ -34,11 +34,16 @@ class TropicalSemiring(SemiringBFS):
         return BFSState(f=f, d=f, n=n, N=N, root=root)
 
     # ------------------------------------------------------------------
-    def postprocess(self, st: BFSState, x_raw: np.ndarray) -> int | np.ndarray:
-        newly = count_newly(x_raw != st.f)
+    def newly_mask(self, st: BFSState, x_raw: np.ndarray) -> np.ndarray:
+        # min-plus products only ever lower distances: changed == settled.
+        return x_raw != st.f
+
+    def postprocess(self, st: BFSState, x_raw: np.ndarray,
+                    newly: np.ndarray | None = None) -> int | np.ndarray:
+        mask = self.newly_mask(st, x_raw) if newly is None else newly
         st.f = x_raw
         st.d = x_raw
-        return newly
+        return count_newly(mask)
 
     def chunk_post(self, vu: VectorUnit, st: BFSState, f_next: np.ndarray,
                    addr: int, x: np.ndarray) -> int:

@@ -1,0 +1,203 @@
+"""Cross-engine differential-testing oracle for every BFS in the library.
+
+The repository has grown a zoo of BFS engines — traditional queue BFS,
+Beamer direction optimization, SpMSpV, the chunked SpMV chunk/layer
+engines, the single-source push/pull hybrid, and the batched all-pull and
+direction-optimizing SpMM engines.  Instead of each test file hand-rolling
+its own pairwise comparisons, this module provides:
+
+* :func:`all_bfs_engines` — a registry mapping engine names to uniform
+  multi-root runners (``spec.run(graph, rep, roots) -> [BFSResult]``),
+  each tagged with the semirings it supports and its parent-derivation
+  class;
+* :func:`assert_bfs_equivalent` — the oracle: runs every requested engine
+  over every root, checks distances bit-equal against the traditional-BFS
+  reference (itself cross-checked against SciPy), validates each parent
+  vector as a BFS tree, and asserts parent vectors are **bit-identical**
+  within each parent-derivation class (``dp`` = DP transformation of the
+  distance vector, ``native`` = sel-max's algebraic parents, search
+  engines each pick their own legal tie-breaks and form singleton
+  classes).
+
+Every present and future engine gets differential-tested from this one
+place: add a registry entry and every oracle-based test covers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bfs.direction_opt import bfs_direction_optimizing
+from repro.bfs.hybrid import bfs_hybrid
+from repro.bfs.msbfs import MultiSourceBFS
+from repro.bfs.mshybrid import MultiSourceHybridBFS
+from repro.bfs.result import BFSResult
+from repro.bfs.spmspv import bfs_spmspv
+from repro.bfs.spmv import BFSSpMV
+from repro.bfs.traditional import bfs_top_down
+from repro.bfs.validate import check_parents_valid, reference_distances
+from repro.formats.slimsell import SlimSell
+from repro.graphs.graph import Graph
+
+SEMIRINGS = ("tropical", "real", "boolean", "sel-max")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered BFS engine, normalized to a multi-root runner."""
+
+    name: str
+    #: ``run(graph, rep, roots) -> list[BFSResult]`` in root order.
+    run: Callable[[Graph, SlimSell, np.ndarray], list[BFSResult]]
+    #: Semirings the engine supports (traversal-only engines accept all).
+    semirings: tuple[str, ...]
+    #: Engines in the same class must produce bit-identical parents.
+    parent_class: str
+
+
+def _per_root(fn):
+    """Lift a single-source callable to the multi-root runner signature."""
+    return lambda graph, rep, roots: [fn(graph, rep, int(r)) for r in roots]
+
+
+def all_bfs_engines(semiring: str = "tropical", *, slimwork: bool = True,
+                    alpha: float = 14.0) -> dict[str, EngineSpec]:
+    """Registry of every BFS engine, keyed by name.
+
+    ``semiring``/``slimwork``/``alpha`` configure the algebraic engines;
+    traversal engines (traditional, direction-opt) ignore them.  The
+    algebraic engines' parent class is ``"native"`` under sel-max (parents
+    come out of the algebra) and ``"dp"`` otherwise — except SpMSpV, which
+    always derives parents via DP.
+    """
+    algebraic_parents = "native" if semiring == "sel-max" else "dp"
+
+    def spmv(engine):
+        return _per_root(lambda g, rep, r: BFSSpMV(
+            rep, semiring, engine=engine, slimwork=slimwork).run(r))
+
+    specs = [
+        EngineSpec("traditional",
+                   _per_root(lambda g, rep, r: bfs_top_down(g, r)),
+                   SEMIRINGS, "search-queue"),
+        EngineSpec("direction-opt",
+                   _per_root(lambda g, rep, r: bfs_direction_optimizing(g, r)),
+                   SEMIRINGS, "search-beamer"),
+        EngineSpec("spmspv",
+                   _per_root(lambda g, rep, r: bfs_spmspv(g, r, semiring)),
+                   SEMIRINGS, "dp"),
+        EngineSpec("spmv-layer", spmv("layer"), SEMIRINGS, algebraic_parents),
+        EngineSpec("spmv-chunk", spmv("chunk"), SEMIRINGS, algebraic_parents),
+        EngineSpec("hybrid",
+                   _per_root(lambda g, rep, r: bfs_hybrid(rep, r, alpha=alpha)),
+                   ("tropical",), "dp"),
+        EngineSpec("msbfs",
+                   lambda g, rep, roots: MultiSourceBFS(
+                       rep, semiring, slimwork=slimwork).run(roots),
+                   SEMIRINGS, algebraic_parents),
+        EngineSpec("mshybrid",
+                   lambda g, rep, roots: MultiSourceHybridBFS(
+                       rep, semiring, alpha=alpha,
+                       slimwork=slimwork).run(roots),
+                   SEMIRINGS, algebraic_parents),
+    ]
+    return {s.name: s for s in specs}
+
+
+def assert_bfs_equivalent(
+    graph: Graph,
+    roots,
+    *,
+    semiring: str = "tropical",
+    C: int = 8,
+    slimwork: bool = True,
+    alpha: float = 14.0,
+    engines: list[str] | None = None,
+    rep: SlimSell | None = None,
+) -> dict[str, list[BFSResult]]:
+    """Differential-test BFS engines against the traditional-BFS reference.
+
+    Runs every engine in ``engines`` (default: all that support
+    ``semiring``) from every root in ``roots`` and asserts, per root:
+
+    * the result's ``root`` field and output order match the input;
+    * distances are bit-equal to :func:`bfs_top_down`'s (which is itself
+      cross-checked against SciPy's BFS once per root);
+    * the parent vector encodes a valid BFS tree for those distances;
+    * parent vectors are bit-identical across engines of the same
+      parent-derivation class.
+
+    Returns ``{engine_name: [BFSResult, ...]}`` so callers can pile on
+    engine-specific assertions (iteration profiles, direction labels, …)
+    without re-running anything.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    specs = all_bfs_engines(semiring, slimwork=slimwork, alpha=alpha)
+    if engines is not None:
+        unknown = set(engines) - set(specs)
+        if unknown:
+            raise KeyError(f"unknown engines {sorted(unknown)}; "
+                           f"available: {sorted(specs)}")
+        # An explicitly requested engine must actually run: silently
+        # skipping it would let a test pass while covering nothing.
+        unsupported = [n for n in engines
+                       if semiring not in specs[n].semirings]
+        if unsupported:
+            raise ValueError(f"engines {unsupported} do not support "
+                             f"semiring {semiring!r}")
+        specs = {name: specs[name] for name in engines}
+    if rep is None:
+        rep = SlimSell(graph, C, graph.n)
+
+    # The oracle: the repo's traditional BFS, pinned to SciPy.  Reused as
+    # the "traditional" engine's output so it runs once per unique root.
+    ref_res: dict[int, BFSResult] = {}
+    for r in np.unique(roots):
+        res = bfs_top_down(graph, int(r))
+        scipy_ref = reference_distances(graph, int(r))
+        same = (res.dist == scipy_ref) | (np.isinf(res.dist) & np.isinf(scipy_ref))
+        assert same.all(), f"traditional BFS diverges from SciPy at root {r}"
+        ref_res[int(r)] = res
+    ref = {r: res.dist for r, res in ref_res.items()}
+
+    results: dict[str, list[BFSResult]] = {}
+    for name, spec in specs.items():
+        if semiring not in spec.semirings:
+            continue  # default-all selection: engine opts out
+        if name == "traditional":
+            out = [ref_res[int(r)] for r in roots]
+        else:
+            out = spec.run(graph, rep, roots)
+        assert len(out) == roots.size, \
+            f"{name}: {len(out)} results for {roots.size} roots"
+        for r, res in zip(roots, out):
+            assert res.root == int(r), \
+                f"{name}: result root {res.root} != requested {int(r)}"
+            exp = ref[int(r)]
+            same = (res.dist == exp) | (np.isinf(res.dist) & np.isinf(exp))
+            assert same.all(), (
+                f"{name}: root {int(r)} distances diverge from the "
+                f"traditional reference at vertices "
+                f"{np.flatnonzero(~same)[:10].tolist()}")
+            if res.parent is not None:
+                check_parents_valid(graph, res)
+        results[name] = out
+
+    # Bit-identity of parents within each parent-derivation class.
+    by_class: dict[str, list[str]] = {}
+    for name in results:
+        by_class.setdefault(specs[name].parent_class, []).append(name)
+    for names in by_class.values():
+        base = names[0]
+        for other in names[1:]:
+            for a, b in zip(results[base], results[other]):
+                if a.parent is None or b.parent is None:
+                    continue
+                np.testing.assert_array_equal(
+                    a.parent, b.parent,
+                    err_msg=f"{base} vs {other}: parents diverge "
+                            f"(root {a.root}, semiring {semiring})")
+    return results

@@ -35,6 +35,9 @@ class _BrokenSemiring(SemiringBFS):
     def init_state(self, n, N, root):  # pragma: no cover - unused
         raise NotImplementedError
 
+    def newly_mask(self, st, x_raw):  # pragma: no cover - unused
+        raise NotImplementedError
+
     def postprocess(self, st, x_raw):  # pragma: no cover - unused
         raise NotImplementedError
 

@@ -78,6 +78,34 @@ class TestCommands:
         with pytest.raises(SystemExit, match="batch"):
             main(["bfs", "kronecker:7,4", "--batch", "0"])
 
+    def test_bfs_hybrid_batched(self, capsys):
+        assert main(["bfs", "kronecker:8,4", "--hybrid", "--batch", "4",
+                     "--semiring", "sel-max"]) == 0
+        out = capsys.readouterr().out
+        assert "spmv-mshybrid" in out and "batch=4" in out
+        assert "push" in out and "pull" in out
+
+    def test_bfs_hybrid_single_root(self, capsys):
+        assert main(["bfs", "kronecker:8,4", "--hybrid",
+                     "--alpha", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "spmv-mshybrid" in out and "batch=1" in out
+
+    def test_bfs_hybrid_requires_spmv(self):
+        with pytest.raises(SystemExit, match="spmv"):
+            main(["bfs", "kronecker:7,4", "--hybrid",
+                  "--algorithm", "traditional"])
+
+    def test_bfs_hybrid_requires_layer_engine(self):
+        with pytest.raises(SystemExit, match="layer engine"):
+            main(["bfs", "kronecker:7,4", "--hybrid", "--engine", "chunk"])
+
+    def test_alpha_requires_hybrid(self):
+        with pytest.raises(SystemExit, match="alpha"):
+            main(["bfs", "kronecker:7,4", "--alpha", "8"])
+        with pytest.raises(SystemExit, match="alpha"):
+            main(["graph500", "7", "--nroots", "2", "--alpha", "8"])
+
     def test_graph500_sequential(self, capsys):
         assert main(["graph500", "7", "--edgefactor", "4",
                      "--nroots", "4"]) == 0
@@ -88,6 +116,11 @@ class TestCommands:
         assert main(["graph500", "7", "--edgefactor", "4", "--nroots", "4",
                      "--batch", "4"]) == 0
         assert "batch=4" in capsys.readouterr().out
+
+    def test_graph500_hybrid(self, capsys):
+        assert main(["graph500", "7", "--edgefactor", "4", "--nroots", "4",
+                     "--batch", "4", "--hybrid", "--alpha", "10"]) == 0
+        assert "hybrid" in capsys.readouterr().out
 
     def test_storage(self, capsys):
         assert main(["storage", "kronecker:8,4", "-C", "8"]) == 0

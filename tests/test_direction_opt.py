@@ -1,36 +1,37 @@
-"""Tests of the direction-optimizing BFS baseline."""
+"""Tests of the direction-optimizing BFS baseline.
+
+Correctness runs through the shared cross-engine oracle (:mod:`engines`);
+the switching-heuristic behavior stays engine-specific.
+"""
 
 import numpy as np
 import pytest
 
 from repro.bfs.direction_opt import bfs_direction_optimizing
-from repro.bfs.validate import check_parents_valid, reference_distances
 from repro.graphs.kronecker import kronecker
 
 from conftest import complete_graph, cycle_graph, path_graph, star_graph, two_components
+from engines import assert_bfs_equivalent
 
 
 class TestCorrectness:
     @pytest.mark.parametrize("builder,n", [
         (path_graph, 15), (cycle_graph, 11), (star_graph, 20), (complete_graph, 8),
     ])
-    def test_matches_reference(self, builder, n):
-        g = builder(n)
-        ref = reference_distances(g, 0)
-        res = bfs_direction_optimizing(g, 0)
-        np.testing.assert_array_equal(res.dist, ref)
-        check_parents_valid(g, res)
+    def test_oracle_equivalence(self, builder, n):
+        assert_bfs_equivalent(builder(n), [0], C=4,
+                              engines=["traditional", "direction-opt"])
 
     @pytest.mark.parametrize("root", [0, 7, 100])
     def test_kronecker_roots(self, kron_small, root):
-        ref = reference_distances(kron_small, root)
-        res = bfs_direction_optimizing(kron_small, root)
-        np.testing.assert_array_equal(res.dist, ref)
-        check_parents_valid(kron_small, res)
+        assert_bfs_equivalent(kron_small, [root],
+                              engines=["traditional", "direction-opt"])
 
     def test_disconnected(self):
         g = two_components()
-        res = bfs_direction_optimizing(g, 4)
+        results = assert_bfs_equivalent(
+            g, [4], C=4, engines=["traditional", "direction-opt"])
+        res = results["direction-opt"][0]
         assert res.reached == 4  # the path component
         assert np.isinf(res.dist[:4]).all()
 

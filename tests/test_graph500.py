@@ -138,3 +138,26 @@ class TestBatchedKernel:
     def test_batch_validation(self):
         with pytest.raises(ValueError, match="batch"):
             run_graph500(7, 4, nroots=2, batch=0)
+
+
+class TestHybridKernel:
+    @pytest.mark.parametrize("batch", [None, 4])
+    def test_hybrid_identical_to_all_pull(self, batch):
+        """Direction optimization changes the work, not the trees: same
+        roots, same traversed edge counts, same five-check validation."""
+        seq = run_graph500(8, 8, nroots=8, seed=2)
+        hyb = run_graph500(8, 8, nroots=8, seed=2, batch=batch, hybrid=True)
+        assert [r.root for r in seq.runs] == [r.root for r in hyb.runs]
+        assert ([r.edges_traversed for r in seq.runs]
+                == [r.edges_traversed for r in hyb.runs])
+        assert hyb.harmonic_mean_teps > 0
+
+    def test_hybrid_alpha_forwarded(self):
+        # α→∞ keeps every root's traversal valid (all-pull) as well.
+        rpt = run_graph500(7, 8, nroots=4, seed=1, batch=4, hybrid=True,
+                           alpha=1e12)
+        assert len(rpt.runs) == 4
+
+    def test_hybrid_with_custom_engine_rejected(self):
+        with pytest.raises(ValueError, match="hybrid"):
+            run_graph500(7, 4, bfs=bfs_top_down, nroots=2, hybrid=True)

@@ -1,42 +1,39 @@
-"""Tests of the push/pull hybrid algebraic BFS (Fig 1's direction-opt curve)."""
+"""Tests of the push/pull hybrid algebraic BFS (Fig 1's direction-opt curve).
+
+Correctness is differential-tested through the shared cross-engine oracle
+(:mod:`engines`); this file keeps only the hybrid-specific behavior —
+direction switching and the push/pull iteration-stats contract.
+"""
 
 import numpy as np
 import pytest
 
 from repro.bfs.hybrid import bfs_hybrid
-from repro.bfs.validate import check_parents_valid, reference_distances
 from repro.formats.sell import SellCSigma
 from repro.formats.slimsell import SlimSell
 from repro.graphs.kronecker import kronecker
 
 from conftest import cycle_graph, path_graph, star_graph, two_components
+from engines import assert_bfs_equivalent
 
 
 class TestCorrectness:
     @pytest.mark.parametrize("root", [0, 7, 300])
-    def test_matches_reference_on_kronecker(self, kron_small, root):
-        rep = SlimSell(kron_small, 8, kron_small.n)
-        ref = reference_distances(kron_small, root)
-        res = bfs_hybrid(rep, root)
-        same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
-        assert same.all()
-        check_parents_valid(kron_small, res)
+    def test_oracle_equivalence_on_kronecker(self, kron_small, root):
+        assert_bfs_equivalent(kron_small, [root],
+                              engines=["traditional", "hybrid",
+                                       "spmv-layer"])
 
     def test_canonical_graphs(self):
         for g, root in ((path_graph(11), 0), (cycle_graph(9), 4),
                         (star_graph(8), 3), (two_components(), 0)):
-            rep = SlimSell(g, 4, g.n)
-            ref = reference_distances(g, root)
-            res = bfs_hybrid(rep, root)
-            same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
-            assert same.all()
+            assert_bfs_equivalent(g, [root], C=4,
+                                  engines=["traditional", "hybrid"])
 
     def test_works_on_sell_c_sigma_too(self, kron_small):
         rep = SellCSigma(kron_small, 8, kron_small.n)
-        ref = reference_distances(kron_small, 2)
-        res = bfs_hybrid(rep, 2)
-        same = (res.dist == ref) | (np.isinf(res.dist) & np.isinf(ref))
-        assert same.all()
+        assert_bfs_equivalent(kron_small, [2], rep=rep,
+                              engines=["traditional", "hybrid"])
 
     def test_root_out_of_range(self, kron_small):
         rep = SlimSell(kron_small, 8)
@@ -66,9 +63,12 @@ class TestDirectionSwitching:
         for it in res.iterations:
             if it.direction == "push":
                 assert it.chunks_processed == 0
+                # Contract: work_lanes mirrors the sparse work on push.
+                assert it.work_lanes == it.edges_examined
             else:
                 assert it.chunks_processed > 0
                 assert it.edges_examined == 0
+                assert it.work_lanes % rep.C == 0
 
     def test_pull_uses_slimwork_pruning(self):
         g = kronecker(10, 16, seed=4)

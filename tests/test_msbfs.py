@@ -2,7 +2,9 @@
 
 The batched SpMM sweep must be indistinguishable — distances, parents,
 iteration profiles, synthesized instruction counters — from running the
-single-source layer and chunk engines once per root.
+single-source layer and chunk engines once per root.  Distance/parent
+equivalence runs through the shared cross-engine oracle (:mod:`engines`);
+the iteration-profile and counter comparisons stay engine-specific.
 """
 
 import numpy as np
@@ -18,6 +20,7 @@ from repro.graphs.kronecker import kronecker
 from repro.semirings.base import get_semiring
 
 from conftest import SEMIRING_NAMES, two_components
+from engines import assert_bfs_equivalent
 
 
 def _graph(name):
@@ -40,12 +43,12 @@ class TestBitIdentity:
     @pytest.mark.parametrize("graph_name", ["kron", "er", "disconnected"])
     def test_matches_layer_engine(self, semiring, C, graph_name):
         g = _graph(graph_name)
-        rep = SlimSell(g, C, g.n)
         roots = _roots(g)
-        batched = MultiSourceBFS(rep, semiring, slimwork=True).run(roots)
-        single = BFSSpMV(rep, semiring, slimwork=True)
-        for r, res in zip(roots, batched):
-            ref = single.run(int(r))
+        results = assert_bfs_equivalent(
+            g, roots, semiring=semiring, C=C,
+            engines=["traditional", "spmv-layer", "msbfs"])
+        # Beyond the oracle: per-iteration profiles must match exactly.
+        for res, ref in zip(results["msbfs"], results["spmv-layer"]):
             np.testing.assert_array_equal(res.dist, ref.dist)
             np.testing.assert_array_equal(res.parent, ref.parent)
             assert len(res.iterations) == len(ref.iterations)
@@ -58,12 +61,11 @@ class TestBitIdentity:
     @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
     @pytest.mark.parametrize("slimwork", [False, True])
     def test_matches_chunk_engine(self, kron_small, semiring, slimwork):
-        rep = SlimSell(kron_small, 8, kron_small.n)
         roots = _roots(kron_small)
-        batched = MultiSourceBFS(rep, semiring, slimwork=slimwork).run(roots)
-        for r, res in zip(roots, batched):
-            ref = BFSSpMV(rep, semiring, engine="chunk",
-                          slimwork=slimwork).run(int(r))
+        results = assert_bfs_equivalent(
+            kron_small, roots, semiring=semiring, slimwork=slimwork,
+            engines=["spmv-chunk", "msbfs"])
+        for res, ref in zip(results["msbfs"], results["spmv-chunk"]):
             np.testing.assert_array_equal(res.dist, ref.dist)
             np.testing.assert_array_equal(res.parent, ref.parent)
 
@@ -71,10 +73,9 @@ class TestBitIdentity:
     def test_sell_rep_matches_too(self, kron_small, semiring):
         rep = SellCSigma(kron_small, 8, kron_small.n)
         roots = _roots(kron_small)
-        batched = MultiSourceBFS(rep, semiring).run(roots)
-        single = BFSSpMV(rep, semiring)
-        for r, res in zip(roots, batched):
-            np.testing.assert_array_equal(res.dist, single.run(int(r)).dist)
+        assert_bfs_equivalent(kron_small, roots, semiring=semiring, rep=rep,
+                              slimwork=False,
+                              engines=["traditional", "spmv-layer", "msbfs"])
 
 
 class TestCounterSynthesis:

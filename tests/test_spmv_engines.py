@@ -1,4 +1,8 @@
-"""Engine equivalence and instruction accounting of the BFS-SpMV engines."""
+"""Engine equivalence and instruction accounting of the BFS-SpMV engines.
+
+Chunk/layer equivalence runs through the shared cross-engine oracle
+(:mod:`engines`); counter fidelity stays engine-specific.
+"""
 
 import numpy as np
 import pytest
@@ -9,6 +13,7 @@ from repro.formats.slimsell import SlimSell
 from repro.semirings.base import get_semiring
 
 from conftest import SEMIRING_NAMES
+from engines import assert_bfs_equivalent
 
 
 @pytest.fixture(scope="module", params=[True, False], ids=["slimsell", "sell"])
@@ -20,10 +25,13 @@ def rep(request, kron_small):
 class TestEngineEquivalence:
     @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
     @pytest.mark.parametrize("slimwork", [False, True])
-    def test_identical_iteration_profiles(self, rep, semiring, slimwork):
-        chunk = BFSSpMV(rep, semiring, engine="chunk", slimwork=slimwork).run(0)
-        layer = BFSSpMV(rep, semiring, engine="layer", slimwork=slimwork).run(0)
-        np.testing.assert_array_equal(chunk.dist, layer.dist)
+    def test_identical_iteration_profiles(self, rep, kron_small, semiring,
+                                          slimwork):
+        results = assert_bfs_equivalent(
+            kron_small, [0], semiring=semiring, slimwork=slimwork, rep=rep,
+            engines=["traditional", "spmv-chunk", "spmv-layer"])
+        chunk = results["spmv-chunk"][0]
+        layer = results["spmv-layer"][0]
         assert len(chunk.iterations) == len(layer.iterations)
         for a, b in zip(chunk.iterations, layer.iterations):
             assert a.newly == b.newly
@@ -32,10 +40,12 @@ class TestEngineEquivalence:
             assert a.work_lanes == b.work_lanes
 
     @pytest.mark.parametrize("semiring", SEMIRING_NAMES)
-    def test_identical_parents(self, rep, semiring):
-        chunk = BFSSpMV(rep, semiring, engine="chunk").run(7)
-        layer = BFSSpMV(rep, semiring, engine="layer").run(7)
-        np.testing.assert_array_equal(chunk.parent, layer.parent)
+    def test_identical_parents(self, rep, kron_small, semiring):
+        results = assert_bfs_equivalent(
+            kron_small, [7], semiring=semiring, slimwork=False, rep=rep,
+            engines=["spmv-chunk", "spmv-layer"])
+        np.testing.assert_array_equal(results["spmv-chunk"][0].parent,
+                                      results["spmv-layer"][0].parent)
 
 
 class TestCounterFidelity:
