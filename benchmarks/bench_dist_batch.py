@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""B-sweep ablation of the batched distributed-BFS model (§VI extension).
+
+Runs the Graph500-style multi-root workload (Kronecker graph, sampled valid
+roots, SlimSell C=16) through the 1D and 2D distributed cost models at
+batch widths B over both modeled interconnects, and reports the per-source
+amortization of the per-layer collectives: total bytes per rank, the α
+latency share (paid once per layer for the whole batch), and the modeled
+end-to-end seconds.  Every batched run is checked bit-identical (per-source
+distances) to the B=1 sweep before its numbers are trusted.
+
+The modeled series are deterministic (they derive from chunk activity and
+the analytic cost model, not wall clock), which is what makes this file a
+usable CI regression baseline — see ``benchmarks/check_regression.py``.
+
+Standalone script (not a pytest bench): results go to an ASCII table on
+stdout and a JSON file (default ``BENCH_dist_batch.json``) that CI uploads
+as the perf-trajectory artifact and gates on.
+
+Usage::
+
+    python benchmarks/bench_dist_batch.py              # scale 13, 64 roots
+    python benchmarks/bench_dist_batch.py --quick      # CI smoke scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from _common import write_bench_json
+
+from repro.dist.bfs1d import bfs_dist_1d
+from repro.dist.bfs2d import bfs_dist_2d
+from repro.dist.network import NETWORKS
+from repro.dist.partition import Partition1D
+from repro.formats.slimsell import SlimSell
+from repro.graph500 import sample_roots
+from repro.graphs.kronecker import kronecker
+from repro.vec.machine import get_machine
+
+RANKS_1D = 16
+GRID_2D = (4, 4)
+
+#: CI smoke configuration, shared with ``benchmarks/check_regression.py`` so
+#: the regression gate re-runs exactly the workload whose numbers are stored
+#: as the committed quick baseline.
+QUICK = {"scale": 10, "edgefactor": 16, "nroots": 16, "batches": [1, 4, 16]}
+
+
+def run_sweep(
+    scale: int,
+    edgefactor: float,
+    nroots: int,
+    batches: list[int],
+    seed: int = 1,
+) -> dict:
+    graph = kronecker(scale, edgefactor, seed=seed)
+    t0 = time.perf_counter()
+    rep = SlimSell(graph, 16, graph.n)
+    build_s = time.perf_counter() - t0
+    roots = sample_roots(graph, nroots, seed)
+    machine = get_machine("knl")
+    part = Partition1D.balanced(rep.cl, RANKS_1D)
+
+    def run_1d(rs, net, B):
+        return bfs_dist_1d(rep, rs, part, machine, net, batch=B)
+
+    def run_2d(rs, net, B):
+        return bfs_dist_2d(rep, rs, GRID_2D, machine, net, batch=B)
+
+    layouts = {
+        f"1d-p{RANKS_1D}": run_1d,
+        f"2d-{GRID_2D[0]}x{GRID_2D[1]}": run_2d,
+    }
+
+    out: dict = {
+        "workload": {
+            "scale": scale,
+            "edgefactor": edgefactor,
+            "n": graph.n,
+            "m": graph.m,
+            "nroots": int(roots.size),
+            "seed": seed,
+            "C": 16,
+            "representation": "slimsell",
+            "machine": "knl",
+            "ranks_1d": RANKS_1D,
+            "grid_2d": list(GRID_2D),
+            "build_s": build_s,
+        },
+        "layouts": {},
+    }
+    for label, run in layouts.items():
+        series: dict = {}
+        for net_name in sorted(NETWORKS):
+            net = NETWORKS[net_name]
+            baseline = None
+            rows = []
+            for B in sorted(set(batches)):
+                t1 = time.perf_counter()
+                res = run(roots, net, B)
+                sim_wall_s = time.perf_counter() - t1
+                if baseline is None:
+                    if B != 1:
+                        raise SystemExit("batches must include 1 (baseline)")
+                    baseline = res
+                identical = bool(np.array_equal(res.dists, baseline.dists))
+                speedup = baseline.modeled_total_s / res.modeled_total_s
+                rows.append(
+                    {
+                        "B": B,
+                        "groups": res.groups,
+                        "union_iterations": res.n_iterations,
+                        "comm_bytes_per_rank": res.total_comm_bytes,
+                        "bytes_per_source": res.total_comm_bytes / res.n_sources,
+                        "comm_latency_s": res.total_comm_latency_s,
+                        "t_local_s": sum(it.t_local_s for it in res.iterations),
+                        "t_comm_s": sum(it.t_comm_s for it in res.iterations),
+                        "modeled_total_s": res.modeled_total_s,
+                        "modeled_per_source_s": res.modeled_per_source_s,
+                        "speedup_vs_B1": speedup,
+                        "identical_to_B1": identical,
+                        "sim_wall_s": sim_wall_s,
+                    }
+                )
+            series[net_name] = rows
+        out["layouts"][label] = {"series": series}
+    return out
+
+
+def print_report(payload: dict) -> None:
+    w = payload["workload"]
+    print(
+        f"\n=== Batched distributed-BFS ablation (scale={w['scale']}, "
+        f"edgefactor={w['edgefactor']}, n={w['n']}, m={w['m']}, "
+        f"{w['nroots']} roots) ==="
+    )
+    hdr = (
+        f"{'layout':>8}  {'network':>12}  {'B':>3}  {'bytes/rank':>10}  "
+        f"{'latency us':>10}  {'model ms':>9}  {'ms/src':>7}  "
+        f"{'speedup':>7}  identical"
+    )
+    print(hdr)
+    print("-" * len(hdr))
+    for label, layout in payload["layouts"].items():
+        for net_name, rows in layout["series"].items():
+            for r in rows:
+                print(
+                    f"{label:>8}  {net_name:>12}  {r['B']:3d}  "
+                    f"{r['comm_bytes_per_rank']:10d}  "
+                    f"{r['comm_latency_s'] * 1e6:10.1f}  "
+                    f"{r['modeled_total_s'] * 1e3:9.3f}  "
+                    f"{r['modeled_per_source_s'] * 1e3:7.3f}  "
+                    f"{r['speedup_vs_B1']:6.2f}x  {r['identical_to_B1']}"
+                )
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", type=int, default=13)
+    ap.add_argument("--edgefactor", type=float, default=16)
+    ap.add_argument("--nroots", type=int, default=64)
+    ap.add_argument(
+        "--batches",
+        default="1,4,16,64",
+        help="comma-separated batch widths (must include 1)",
+    )
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke configuration (scale 10, 16 roots, B in {1,4,16})",
+    )
+    ap.add_argument(
+        "--output",
+        default="BENCH_dist_batch.json",
+        help="JSON results path",
+    )
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        scale, nroots = QUICK["scale"], QUICK["nroots"]
+        edgefactor, batches = QUICK["edgefactor"], QUICK["batches"]
+    else:
+        scale, nroots, edgefactor = args.scale, args.nroots, args.edgefactor
+        batches = [int(b) for b in args.batches.split(",")]
+
+    payload = run_sweep(scale, edgefactor, nroots, batches, seed=args.seed)
+    print_report(payload)
+    write_bench_json(args.output, payload)
+    print(f"\nwrote {args.output}")
+    ok = all(
+        r["identical_to_B1"]
+        for layout in payload["layouts"].values()
+        for rows in layout["series"].values()
+        for r in rows
+    )
+    if not ok:
+        print(
+            "ERROR: a batched sweep diverged from the B=1 baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

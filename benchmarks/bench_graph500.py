@@ -11,7 +11,6 @@ in the Fig 9/10 benches.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.bfs.hybrid import bfs_hybrid
 from repro.bfs.spmv import BFSSpMV
@@ -25,8 +24,6 @@ SCALE, EDGEFACTOR, NROOTS = 10, 16, 12
 
 
 def test_graph500_protocol(benchmark):
-    engines = {}
-
     def make_spmv(graph):
         rep = SlimSell(graph, 16, graph.n)
         eng = BFSSpMV(rep, "sel-max", slimwork=True)

@@ -21,15 +21,22 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
 import numpy as np
 
+from _common import write_bench_json
+
 from repro.bfs.spmv import BFSSpMV
 from repro.formats.slimsell import SlimSell
+from repro.graph500 import sample_roots
 from repro.graphs.kronecker import kronecker
+
+#: CI smoke configuration, shared with ``benchmarks/check_regression.py`` so
+#: the regression gate re-runs exactly the workload whose numbers are stored
+#: as the committed quick baseline.
+QUICK = {"scale": 10, "edgefactor": 16, "nroots": 16, "batches": [1, 4, 16]}
 
 
 def run_sweep(scale: int, edgefactor: float, nroots: int,
@@ -39,10 +46,7 @@ def run_sweep(scale: int, edgefactor: float, nroots: int,
     rep = SlimSell(graph, 16, graph.n)
     build_s = time.perf_counter() - t0
 
-    rng = np.random.default_rng(seed + 1)
-    candidates = np.flatnonzero(graph.degrees > 0)
-    roots = rng.choice(candidates, size=min(nroots, candidates.size),
-                       replace=False)
+    roots = sample_roots(graph, nroots, seed)
 
     # Warm the memoized operands (col64, per-semiring val) so every batch
     # width measures steady-state kernel time, not one-time materialization.
@@ -114,16 +118,16 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     if args.quick:
-        scale, nroots, batches = 10, 16, [1, 4, 16]
+        scale, nroots = QUICK["scale"], QUICK["nroots"]
+        edgefactor, batches = QUICK["edgefactor"], QUICK["batches"]
     else:
-        scale, nroots = args.scale, args.nroots
+        scale, nroots, edgefactor = args.scale, args.nroots, args.edgefactor
         batches = [int(b) for b in args.batches.split(",")]
 
-    payload = run_sweep(scale, args.edgefactor, nroots, batches,
+    payload = run_sweep(scale, edgefactor, nroots, batches,
                         seed=args.seed)
     print_report(payload)
-    with open(args.output, "w") as fh:
-        json.dump(payload, fh, indent=2)
+    write_bench_json(args.output, payload)
     print(f"\nwrote {args.output}")
     if not all(r["identical_to_B1"] for r in payload["batches"]):
         print("ERROR: a batched run diverged from the sequential baseline",

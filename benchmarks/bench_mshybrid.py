@@ -27,16 +27,24 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
 import numpy as np
 
+from _common import write_bench_json
+
 from repro.bfs.mshybrid import MultiSourceHybridBFS
 from repro.bfs.spmv import BFSSpMV
 from repro.formats.slimsell import SlimSell
+from repro.graph500 import sample_roots
 from repro.graphs.kronecker import kronecker
+
+#: CI smoke configuration, shared with ``benchmarks/check_regression.py`` so
+#: the regression gate re-runs exactly the workload whose numbers are stored
+#: as the committed quick baseline.
+QUICK = {"scale": 10, "edgefactor": 16, "nroots": 16,
+         "batches": [1, 4], "alphas": [8.0, 14.0]}
 
 
 def _identical(a, b) -> bool:
@@ -51,10 +59,7 @@ def run_sweep(scale: int, edgefactor: float, nroots: int,
     rep = SlimSell(graph, 16, graph.n)
     build_s = time.perf_counter() - t0
 
-    rng = np.random.default_rng(seed + 1)
-    candidates = np.flatnonzero(graph.degrees > 0)
-    roots = rng.choice(candidates, size=min(nroots, candidates.size),
-                       replace=False)
+    roots = sample_roots(graph, nroots, seed)
 
     # Warm the memoized operands (col64, per-semiring val) so every config
     # measures steady-state kernel time, not one-time materialization.
@@ -155,18 +160,18 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     if args.quick:
-        scale, nroots = 10, 16
-        batches, alphas = [1, 4], [8.0, 14.0]
+        scale, nroots = QUICK["scale"], QUICK["nroots"]
+        edgefactor = QUICK["edgefactor"]
+        batches, alphas = QUICK["batches"], QUICK["alphas"]
     else:
-        scale, nroots = args.scale, args.nroots
+        scale, nroots, edgefactor = args.scale, args.nroots, args.edgefactor
         batches = [int(b) for b in args.batches.split(",")]
         alphas = [float(a) for a in args.alphas.split(",")]
 
-    payload = run_sweep(scale, args.edgefactor, nroots, batches, alphas,
+    payload = run_sweep(scale, edgefactor, nroots, batches, alphas,
                         seed=args.seed)
     print_report(payload)
-    with open(args.output, "w") as fh:
-        json.dump(payload, fh, indent=2)
+    write_bench_json(args.output, payload)
     print(f"\nwrote {args.output}")
     if not all(r["identical_to_allpull"] for r in payload["grid"]):
         print("ERROR: a hybrid run diverged from the all-pull baseline",

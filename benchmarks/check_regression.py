@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: re-run the --quick ablations, compare baselines.
+
+The committed ``BENCH_*.json`` files carry, next to the full-scale ablation
+payload, a ``quick_baseline`` section: the same sweep at the CI smoke
+configuration (each bench module's ``QUICK`` dict).  This gate re-runs those
+quick sweeps in-process and fails (exit 1) if any kernel point regresses by
+more than ``--tolerance`` (default 25%) against its committed baseline.
+
+What is compared is deliberately machine-portable:
+
+* ``bench_msbfs_batch`` / ``bench_mshybrid`` — batching/direction speedup
+  *ratios* (kernel-time quotients measured in the same process, so the
+  host's absolute speed divides out);
+* ``bench_dist_batch`` — the distributed model's ``modeled_total_s`` and
+  ``comm_bytes_per_rank`` series, which are deterministic functions of the
+  code (chunk activity × analytic cost model), i.e. exact change detectors.
+
+Usage::
+
+    python benchmarks/check_regression.py                   # gate (CI)
+    python benchmarks/check_regression.py --tolerance 0.4   # looser gate
+    python benchmarks/check_regression.py --update-baselines
+    python benchmarks/check_regression.py --inject 2.0      # self-test: a
+        # simulated 2x slowdown of every timing metric must trip the gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass(frozen=True)
+class Point:
+    """One gated benchmark metric."""
+
+    name: str
+    value: float
+    direction: str  # "higher" or "lower" is better
+    timing: bool  # scaled by --inject (self-test slowdowns)
+
+
+def _run_msbfs_quick() -> dict:
+    import bench_msbfs_batch as m
+
+    return m.run_sweep(
+        m.QUICK["scale"],
+        m.QUICK["edgefactor"],
+        m.QUICK["nroots"],
+        m.QUICK["batches"],
+    )
+
+
+def _extract_msbfs(payload: dict) -> list[Point]:
+    return [
+        Point(f"B={r['B']}.speedup_vs_B1", r["speedup_vs_B1"], "higher", True)
+        for r in payload["batches"]
+        if r["B"] != 1
+    ]
+
+
+def _run_mshybrid_quick() -> dict:
+    import bench_mshybrid as m
+
+    return m.run_sweep(
+        m.QUICK["scale"],
+        m.QUICK["edgefactor"],
+        m.QUICK["nroots"],
+        m.QUICK["batches"],
+        m.QUICK["alphas"],
+    )
+
+
+def _extract_mshybrid(payload: dict) -> list[Point]:
+    return [
+        Point(
+            f"B={r['B']},alpha={r['alpha']:g}.speedup_vs_allpull",
+            r["speedup_vs_allpull_same_B"],
+            "higher",
+            True,
+        )
+        for r in payload["grid"]
+    ]
+
+
+def _run_dist_batch_quick() -> dict:
+    import bench_dist_batch as m
+
+    return m.run_sweep(
+        m.QUICK["scale"],
+        m.QUICK["edgefactor"],
+        m.QUICK["nroots"],
+        m.QUICK["batches"],
+    )
+
+
+def _extract_dist_batch(payload: dict) -> list[Point]:
+    points = []
+    for label, layout in payload["layouts"].items():
+        for net, rows in layout["series"].items():
+            for r in rows:
+                key = f"{label}/{net}/B={r['B']}"
+                points.append(
+                    Point(
+                        f"{key}.modeled_total_s",
+                        r["modeled_total_s"],
+                        "lower",
+                        True,
+                    )
+                )
+                points.append(
+                    Point(
+                        f"{key}.comm_bytes_per_rank",
+                        float(r["comm_bytes_per_rank"]),
+                        "lower",
+                        False,
+                    )
+                )
+    return points
+
+
+# (baseline file, quick runner, point extractor, deterministic?) — a
+# deterministic bench's points are pure functions of the code, so the
+# best-of-N noise envelope degenerates and one sweep suffices.
+BENCHES = {
+    "msbfs": ("BENCH_msbfs.json", _run_msbfs_quick, _extract_msbfs, False),
+    "mshybrid": (
+        "BENCH_mshybrid.json",
+        _run_mshybrid_quick,
+        _extract_mshybrid,
+        False,
+    ),
+    "dist_batch": (
+        "BENCH_dist_batch.json",
+        _run_dist_batch_quick,
+        _extract_dist_batch,
+        True,
+    ),
+}
+
+
+def _load_baseline(path: Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _improves(p: Point, prev: Point) -> bool:
+    """True when ``p`` is a more favorable reading of the same metric."""
+    if p.direction == "higher":
+        return p.value > prev.value
+    return p.value < prev.value
+
+
+def _best_points(run, extract, repeats: int) -> dict[str, Point]:
+    """Extract the per-point *best* over ``repeats`` quick sweeps.
+
+    Quick-scale kernel times are tens of milliseconds, so single-shot
+    speedup ratios jitter; the upper envelope of a few repeats is what the
+    code is capable of, which is the stable quantity a 25% gate can hold.
+    Deterministic (modeled) points are identical across repeats, so the
+    envelope is a no-op for them.
+    """
+    best: dict[str, Point] = {}
+    for _ in range(repeats):
+        for p in extract(run()):
+            prev = best.get(p.name)
+            if prev is None or _improves(p, prev):
+                best[p.name] = p
+    return best
+
+
+def update_baselines(baseline_dir: Path, repeats: int) -> int:
+    for name, (fname, run, extract, deterministic) in BENCHES.items():
+        path = baseline_dir / fname
+        if not path.exists():
+            print(f"SKIP {name}: no committed {fname} to stamp", flush=True)
+            continue
+        print(f"re-running quick sweep: {name} ...", flush=True)
+        # Stamp one sweep's payload plus the best-of-N envelope of its
+        # gated metrics, so baseline and gate read the same quantity.
+        reps = 1 if deterministic else repeats
+        fresh = run()
+        best = {p.name: p for p in extract(fresh)}
+        if reps > 1:
+            for p in _best_points(run, extract, reps - 1).values():
+                if _improves(p, best[p.name]):
+                    best[p.name] = p
+        fresh["gated_points"] = {p.name: p.value for p in best.values()}
+        payload = _load_baseline(path)
+        payload["quick_baseline"] = fresh
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"stamped quick_baseline into {path}")
+    return 0
+
+
+def check(baseline_dir: Path, tolerance: float, inject: float, repeats: int) -> int:
+    failures = 0
+    compared = 0
+    for name, (fname, run, extract, deterministic) in BENCHES.items():
+        path = baseline_dir / fname
+        if not path.exists():
+            print(f"ERROR {name}: missing baseline {fname}", file=sys.stderr)
+            return 2
+        baseline = _load_baseline(path)
+        if "quick_baseline" not in baseline:
+            print(
+                f"ERROR {name}: {fname} has no quick_baseline section; run "
+                "python benchmarks/check_regression.py --update-baselines",
+                file=sys.stderr,
+            )
+            return 2
+        base_payload = baseline["quick_baseline"]
+        base_points = {p.name: p for p in extract(base_payload)}
+        for pname, pvalue in base_payload.get("gated_points", {}).items():
+            if pname in base_points:
+                base_points[pname] = replace(base_points[pname], value=pvalue)
+        print(f"re-running quick sweep: {name} ...", flush=True)
+        reps = 1 if deterministic else repeats
+        fresh_points = _best_points(run, extract, reps).values()
+        for p in fresh_points:
+            base = base_points.get(p.name)
+            if base is None:
+                print(f"  NEW   {name}:{p.name} = {p.value:.4g} (no baseline)")
+                continue
+            value = p.value
+            if p.timing and inject != 1.0:
+                value = value / inject if p.direction == "higher" else value * inject
+            if p.direction == "higher":
+                bound = base.value * (1.0 - tolerance)
+                bad = value < bound
+            else:
+                bound = base.value * (1.0 + tolerance)
+                bad = value > bound
+            compared += 1
+            status = "FAIL" if bad else "ok"
+            print(
+                f"  {status:4s}  {name}:{p.name}  {value:.4g} vs "
+                f"baseline {base.value:.4g} ({p.direction} is better, "
+                f"bound {bound:.4g})"
+            )
+            failures += bad
+    print(
+        f"\n{compared} points compared, {failures} regression(s) "
+        f"(tolerance {tolerance:.0%}"
+        + (f", injected slowdown {inject:g}x" if inject != 1.0 else "")
+        + ")"
+    )
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative regression per point (default 0.25)",
+    )
+    ap.add_argument(
+        "--baseline-dir",
+        default=str(REPO_ROOT),
+        help="directory holding the committed BENCH_*.json files",
+    )
+    ap.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="stamp fresh quick_baseline sections into the committed files",
+    )
+    ap.add_argument(
+        "--inject",
+        type=float,
+        default=1.0,
+        help="self-test: scale every timing metric as if the code ran this "
+        "many times slower (the gate must fail for factors > 1+tolerance)",
+    )
+    ap.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="quick sweeps per bench; timing points gate on the best "
+        "repeat to damp scheduler noise (default 3)",
+    )
+    args = ap.parse_args(argv)
+    baseline_dir = Path(args.baseline_dir)
+    if args.update_baselines:
+        return update_baselines(baseline_dir, args.repeats)
+    return check(baseline_dir, args.tolerance, args.inject, args.repeats)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,7 +78,12 @@ _LAZY_EXPORTS = {
     "CRAY_ARIES": ("repro.dist.network", "CRAY_ARIES"),
     "ETHERNET_10G": ("repro.dist.network", "ETHERNET_10G"),
     "model_allgather": ("repro.dist.network", "model_allgather"),
+    "model_reduce_scatter": ("repro.dist.network", "model_reduce_scatter"),
+    "model_transpose": ("repro.dist.network", "model_transpose"),
+    "batched_frontier_bytes": ("repro.dist.network", "batched_frontier_bytes"),
+    "get_network": ("repro.dist.network", "get_network"),
     "DistBFSResult": ("repro.dist.result", "DistBFSResult"),
+    "DistBatchResult": ("repro.dist.result", "DistBatchResult"),
     "DistIterationStats": ("repro.dist.result", "DistIterationStats"),
 }
 
@@ -145,7 +150,12 @@ __all__ = [
     "CRAY_ARIES",
     "ETHERNET_10G",
     "model_allgather",
+    "model_reduce_scatter",
+    "model_transpose",
+    "batched_frontier_bytes",
+    "get_network",
     "DistBFSResult",
+    "DistBatchResult",
     "DistIterationStats",
     "__version__",
 ]

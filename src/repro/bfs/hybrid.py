@@ -34,7 +34,6 @@ from repro.bfs.result import BFSResult, IterationStats
 from repro.bfs.spmspv import expand_adjacency
 from repro.bfs.spmv import BFSSpMV
 from repro.formats.sell import SellCSigma
-from repro.graphs.graph import Graph
 from repro.semirings.base import get_semiring
 
 

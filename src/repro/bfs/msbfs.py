@@ -52,6 +52,7 @@ from repro.semirings.base import BFSState, SemiringBFS, get_semiring
 
 __all__ = [
     "MultiSourceBFS",
+    "batched_levels",
     "bfs_msbfs",
     "build_rep",
     "compact_columns",
@@ -88,6 +89,28 @@ def build_rep(graph_or_rep: Graph | SellCSigma, C: int, sigma: int | None,
         rep_cls = SlimSell if slim else SellCSigma
         return rep_cls(graph_or_rep, C, sigma)
     return graph_or_rep
+
+
+def batched_levels(rep: SellCSigma, roots, *,
+                   slimwork: bool = True) -> tuple[list[BFSResult], np.ndarray]:
+    """One SpMM layer sweep from every root; per-column padded level vectors.
+
+    The distributed model (:mod:`repro.dist`) consumes this as its batched
+    ground truth: ``results`` are the per-column traversals (bit-identical
+    to the single-source layer engine, including iteration logs), and
+    ``levels`` is float64[N, B] — column ``b`` holds root ``b``'s hop levels
+    in the representation's permuted, padded id space (padding lanes ∞), the
+    exact input of the per-iteration SlimWork reconstruction.  Restricting
+    the sweep to one rank's chunk band is :func:`spmm_layer_sweep` with that
+    band as ``act`` — the partition-local slice of the same kernel.
+    """
+    engine = MultiSourceBFS(rep, "tropical", slimwork=slimwork,
+                            compute_parents=False)
+    results = engine.run(roots)
+    levels = np.full((rep.N, len(results)), np.inf)
+    for j, res in enumerate(results):
+        levels[rep.perm, j] = res.dist
+    return results, levels
 
 
 def run_in_batches(engine, roots, batch: int | None) -> list[BFSResult]:

@@ -176,38 +176,69 @@ def _cmd_dist(args) -> int:
     from repro.dist.network import get_network
     from repro.dist.partition import Partition1D
     from repro.formats.slimsell import SlimSell
+    from repro.graph500 import sample_roots
     from repro.vec.machine import get_machine
 
+    if args.nroots < 1:
+        raise SystemExit(f"--nroots must be >= 1, got {args.nroots}")
+    if args.batch is not None and args.nroots == 1:
+        raise SystemExit("--batch requires --nroots > 1 (a multi-source sweep)")
+    if args.transpose and not args.grid:
+        raise SystemExit("--transpose requires --grid (the 2D model)")
+    if not 0.0 <= args.overlap <= 1.0:
+        raise SystemExit(f"--overlap must be in [0, 1], got {args.overlap:g}")
     g = _load_graph(args.graph)
-    root = args.root if args.root >= 0 else int(np.argmax(g.degrees))
     machine = get_machine(args.machine)
     network = get_network(args.network)
     rep = SlimSell(g, args.chunk, args.sigma if args.sigma else g.n)
     slimwork = not args.no_slimwork
+    batched = args.nroots > 1
+    if batched:
+        root = sample_roots(g, args.nroots, args.seed)
+    else:
+        root = args.root if args.root >= 0 else int(np.argmax(g.degrees))
     if args.grid:
         r, _, c = args.grid.lower().partition("x")
         if not (r.isdigit() and c.isdigit()):
             raise SystemExit(f"--grid must be RxC (e.g. 4x4), got {args.grid!r}")
         res = bfs_dist_2d(rep, root, (int(r), int(c)), machine, network,
-                          slimwork=slimwork)
+                          slimwork=slimwork, batch=args.batch,
+                          overlap=args.overlap, transpose=args.transpose)
     else:
         part = (Partition1D.blocks(rep.nc, args.ranks) if args.blocks
                 else Partition1D.balanced(rep.cl, args.ranks))
         res = bfs_dist_1d(rep, root, part, machine, network,
-                          slimwork=slimwork)
-    print(f"method={res.method} ranks={res.ranks} "
-          f"machine={res.machine} network={res.network} root={root}")
-    print(f"reached {res.reached}/{g.n} vertices in {res.n_iterations} "
-          f"iterations")
+                          slimwork=slimwork, batch=args.batch,
+                          overlap=args.overlap)
     t_local = sum(it.t_local_s for it in res.iterations)
     t_comm = sum(it.t_comm_s for it in res.iterations)
-    print(f"modeled: local {t_local * 1e3:.3f} ms + comm {t_comm * 1e3:.3f} ms "
-          f"= {res.modeled_total_s * 1e3:.3f} ms "
-          f"(comm share {res.comm_fraction:.1%}, "
-          f"{res.total_comm_bytes} bytes/rank)")
+    if batched:
+        print(f"method={res.method} ranks={res.ranks} "
+              f"machine={res.machine} network={res.network} "
+              f"sources={res.n_sources} batch={res.batch} "
+              f"groups={res.groups} overlap={res.overlap:g}")
+        print(f"reached {int(res.reached.sum())} vertices over "
+              f"{res.n_sources} traversals in {res.n_iterations} union "
+              f"iterations")
+        print(f"modeled: local {t_local * 1e3:.3f} ms + comm "
+              f"{t_comm * 1e3:.3f} ms -> {res.modeled_total_s * 1e3:.3f} ms "
+              f"total ({res.modeled_per_source_s * 1e3:.3f} ms/source, "
+              f"comm share {res.comm_fraction:.1%})")
+        print(f"collectives: {res.total_comm_bytes} bytes/rank, "
+              f"latency {res.total_comm_latency_s * 1e6:.1f} us "
+              f"(paid once per layer for the whole batch)")
+    else:
+        print(f"method={res.method} ranks={res.ranks} "
+              f"machine={res.machine} network={res.network} root={root}")
+        print(f"reached {res.reached}/{g.n} vertices in {res.n_iterations} "
+              f"iterations")
+        print(f"modeled: local {t_local * 1e3:.3f} ms + comm {t_comm * 1e3:.3f} ms "
+              f"= {res.modeled_total_s * 1e3:.3f} ms "
+              f"(comm share {res.comm_fraction:.1%}, "
+              f"{res.total_comm_bytes} bytes/rank)")
     if args.verbose:
         for it in res.iterations:
-            print(f"  iter {it.k}: newly={it.newly} "
+            print(f"  iter {it.k}: newly={it.newly} width={it.width} "
                   f"active={it.chunks_active} imbalance={it.imbalance:.2f} "
                   f"t_local={it.t_local_s * 1e6:.1f}us "
                   f"t_comm={it.t_comm_s * 1e6:.1f}us")
@@ -301,7 +332,21 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--chunk", "-C", type=int, default=16, help="chunk height C")
     d.add_argument("--sigma", type=int, default=None, help="sorting scope")
     d.add_argument("--root", type=int, default=-1,
-                   help="root vertex (-1 = highest degree)")
+                   help="root vertex (-1 = highest degree; single-source only)")
+    d.add_argument("--nroots", type=int, default=1,
+                   help="simulate a multi-source sweep from this many "
+                        "Graph500-sampled roots (1 = single-source)")
+    d.add_argument("--batch", type=int, default=None,
+                   help="frontier columns per batched sweep (default: all "
+                        "--nroots sources in one sweep)")
+    d.add_argument("--overlap", type=float, default=0.0,
+                   help="fraction (0..1) of each collective hidden behind "
+                        "the local SpMV (0 = bulk-synchronous)")
+    d.add_argument("--transpose", action="store_true",
+                   help="charge the direction-optimizing frontier transpose "
+                        "(2D grids only)")
+    d.add_argument("--seed", type=int, default=1,
+                   help="root-sampling seed for --nroots > 1")
     d.add_argument("--blocks", action="store_true",
                    help="naive block partition instead of work-balanced bands")
     d.add_argument("--no-slimwork", action="store_true",

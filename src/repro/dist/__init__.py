@@ -9,20 +9,40 @@ exact distances come from the real single-node engine, while per-rank
 compute is modeled with the vector-ISA cost model and inter-node traffic
 with an allgather latency/bandwidth model.
 
+Both decompositions take either one root (the seed's single-traversal
+simulation, unchanged cost term for cost term) or a sequence of roots with
+``batch=``/``overlap=`` knobs: the batched path reuses the multi-source
+SpMM sweep of :mod:`repro.bfs.msbfs` for the local term and charges each
+collective once per layer for the whole batch, which is the §VI scaling
+question — how much allgather latency and volume a B-wide frontier
+amortizes on Aries vs commodity Ethernet.
+
 Modules
 -------
 ``partition``  1D chunk-to-rank partitions (naive blocks / work-balanced)
-``network``    interconnect descriptors + the allgather cost model
+``network``    interconnect descriptors + allgather / reduce-scatter /
+               transpose cost models and the batched-frontier payload
 ``bfs1d``      1D row decomposition (frontier allgather over all ranks)
-``bfs2d``      2D (R, C) grid decomposition (column allgather + row merge)
+``bfs2d``      2D (R, C) grid decomposition (column allgather + row
+               reduce-scatter, optional direction-optimizing transpose)
 ``result``     per-iteration profile and result containers
 """
 
 from repro.dist.bfs1d import bfs_dist_1d
 from repro.dist.bfs2d import bfs_dist_2d
-from repro.dist.network import CRAY_ARIES, ETHERNET_10G, NETWORKS, Network, model_allgather
+from repro.dist.network import (
+    CRAY_ARIES,
+    ETHERNET_10G,
+    NETWORKS,
+    Network,
+    batched_frontier_bytes,
+    get_network,
+    model_allgather,
+    model_reduce_scatter,
+    model_transpose,
+)
 from repro.dist.partition import Partition1D
-from repro.dist.result import DistBFSResult, DistIterationStats
+from repro.dist.result import DistBatchResult, DistBFSResult, DistIterationStats
 
 __all__ = [
     "bfs_dist_1d",
@@ -32,7 +52,12 @@ __all__ = [
     "NETWORKS",
     "CRAY_ARIES",
     "ETHERNET_10G",
+    "batched_frontier_bytes",
+    "get_network",
     "model_allgather",
+    "model_reduce_scatter",
+    "model_transpose",
+    "DistBatchResult",
     "DistBFSResult",
     "DistIterationStats",
 ]

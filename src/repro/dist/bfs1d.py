@@ -13,22 +13,38 @@ This is the classic 1D-BFS scaling story the benchmark regenerates: local
 work shrinks ≈ 1/P while the allgather result is P-independent, so the
 communication share grows with P — the motivation for the 2D decomposition
 in :mod:`repro.dist.bfs2d`.
+
+Batched traversals (``roots`` a sequence, optionally chopped into groups of
+``batch`` columns) run the multi-source SpMM sweep instead: the local term
+models the union-of-columns chunk activity at the live width, and the
+allgather ships one union value vector plus per-column bitmaps
+(:func:`repro.dist.network.batched_frontier_bytes`) — once per layer, so
+the α·log2(P) latency amortizes across the batch.  ``overlap`` hides that
+fraction of every collective behind the local compute.
 """
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
 
-from repro.dist.network import Network, model_allgather
+from repro.dist.network import (
+    Network,
+    batched_frontier_bytes,
+    model_allgather,
+)
 from repro.dist.partition import Partition1D
 from repro.dist.result import (
+    DistBatchResult,
     DistBFSResult,
     DistIterationStats,
     active_chunk_mask,
+    check_overlap,
     modeled_local_seconds,
     run_global_bfs,
+    simulate_batched,
     work_imbalance,
 )
 from repro.formats.sell import SellCSigma
@@ -39,15 +55,53 @@ from repro.vec.machine import Machine
 __all__ = ["bfs_dist_1d"]
 
 
+def _profile_1d(rep: SellCSigma, partition: Partition1D, machine: Machine,
+                network: Network, slimwork: bool, overlap: float,
+                schedule) -> list[DistIterationStats]:
+    """Map a union iteration schedule onto 1D ranks and the wire."""
+    ranks = partition.ranks
+    semiring = get_semiring("tropical")
+    slim = not rep.has_val
+    owned = partition.counts_per_rank()
+    latency = 0.0 if ranks == 1 else math.log2(ranks) * network.latency_s
+    iterations: list[DistIterationStats] = []
+    for k, width, newly, active in schedule:
+        processed = partition.counts_per_rank(active)
+        layers = partition.sum_by_rank(rep.cl, active)
+        rank_lanes = layers * rep.C
+        t_local = max(
+            modeled_local_seconds(machine, semiring, rep.C, slim,
+                                  int(processed[r]),
+                                  int(owned[r] - processed[r]),
+                                  int(layers[r]), slimwork, batch=width)
+            for r in range(ranks))
+        # Each rank receives the whole frontier: one dense union value
+        # vector plus, for batches, a membership bitmap per column.
+        comm_bytes = (0 if ranks == 1
+                      else batched_frontier_bytes(rep.N, width,
+                                                  BYTES_PER_WORD))
+        t_comm = model_allgather(network, ranks, comm_bytes)
+        iterations.append(DistIterationStats(
+            k=k, newly=newly, t_local_s=t_local, t_comm_s=t_comm,
+            comm_bytes=comm_bytes, imbalance=work_imbalance(rank_lanes),
+            rank_lanes=rank_lanes, chunks_active=int(active.sum()),
+            width=width, overlap=overlap,
+            comm_latency_s=0.0 if ranks == 1 else latency,
+        ))
+    return iterations
+
+
 def bfs_dist_1d(
     rep: SellCSigma,
-    root: int,
+    root,
     partition: Partition1D,
     machine: Machine,
     network: Network,
     *,
     slimwork: bool = True,
-) -> DistBFSResult:
+    batch: int | None = None,
+    overlap: float = 0.0,
+) -> DistBFSResult | DistBatchResult:
     """Simulate a 1D-distributed BFS-SpMV from ``root`` (original ids).
 
     Parameters
@@ -56,7 +110,8 @@ def bfs_dist_1d(
         A built :class:`~repro.formats.slimsell.SlimSell` (or
         :class:`~repro.formats.sell.SellCSigma`) representation.
     root:
-        Traversal root in original vertex ids.
+        Traversal root in original vertex ids, or a sequence of roots for a
+        batched multi-source sweep.
     partition:
         Chunk → rank assignment; must cover all ``rep.nc`` chunks.
     machine:
@@ -65,55 +120,54 @@ def bfs_dist_1d(
         Interconnect descriptor used to model the frontier allgather.
     slimwork:
         Enable §III-C chunk skipping inside each rank's local SpMV.
+    batch:
+        With a roots sequence: columns per SpMM sweep (``None`` = all roots
+        in one sweep; groups run back to back).  ``batch=1`` reproduces the
+        single-source model per root, cost term for cost term.
+    overlap:
+        Fraction (0..1) of each collective hidden behind the local SpMV;
+        0 is the bulk-synchronous seed model.
 
     Returns
     -------
-    DistBFSResult
+    DistBFSResult | DistBatchResult
         Exact distances (bit-identical to the single-node run) plus the
         per-iteration profile: slowest-rank local time, allgather time,
-        bytes moved, per-rank work lanes, and work imbalance.
+        bytes moved, per-rank work lanes, and work imbalance.  A scalar
+        ``root`` yields :class:`DistBFSResult`; a sequence yields the
+        batched container.
     """
-    if not 0 <= root < rep.n:
-        raise ValueError(f"root {root} out of range [0, {rep.n})")
     if partition.nchunks != rep.nc:
         raise ValueError(
             f"partition covers {partition.nchunks} chunks but the "
             f"representation has {rep.nc}; the partition must cover every chunk")
+    overlap = check_overlap(overlap)
+    method = "dist-1d" + ("+slimwork" if slimwork else "")
+    if np.ndim(root) != 0:
+        return simulate_batched(
+            rep, root, batch=batch, slimwork=slimwork,
+            profile=lambda schedule: _profile_1d(
+                rep, partition, machine, network, slimwork, overlap, schedule),
+            method=method, ranks=partition.ranks, machine=machine.name,
+            network=network.name, overlap=overlap)
+    if batch is not None and batch != 1:
+        raise ValueError("batch= requires a sequence of roots; "
+                         "pass root=[...] for a multi-source sweep")
+    if not 0 <= root < rep.n:
+        raise ValueError(f"root {root} out of range [0, {rep.n})")
 
     t0 = time.perf_counter()
-    ranks = partition.ranks
-    semiring = get_semiring("tropical")
-    slim = not rep.has_val
     res, levels = run_global_bfs(rep, root, slimwork)
+    schedule = [
+        (it.k, 1, it.newly,
+         active_chunk_mask(levels, rep.nc, rep.C, it.k, slimwork))
+        for it in res.iterations
+    ]
+    iterations = _profile_1d(rep, partition, machine, network, slimwork,
+                             overlap, schedule)
 
-    owner = partition.owner
-    owned = partition.counts_per_rank()
-    # Each rank receives the full frontier (N words) in the allgather.
-    comm_bytes = 0 if ranks == 1 else BYTES_PER_WORD * rep.N
-    iterations: list[DistIterationStats] = []
-    for it in res.iterations:
-        active = active_chunk_mask(levels, rep.nc, rep.C, it.k, slimwork)
-        act_owner = owner[active]
-        processed = np.bincount(act_owner, minlength=ranks)
-        layers = np.bincount(act_owner, weights=rep.cl[active],
-                             minlength=ranks).astype(np.int64)
-        rank_lanes = layers * rep.C
-        t_local = max(
-            modeled_local_seconds(machine, semiring, rep.C, slim,
-                                  int(processed[r]),
-                                  int(owned[r] - processed[r]),
-                                  int(layers[r]), slimwork)
-            for r in range(ranks))
-        t_comm = model_allgather(network, ranks, comm_bytes)
-        iterations.append(DistIterationStats(
-            k=it.k, newly=it.newly, t_local_s=t_local, t_comm_s=t_comm,
-            comm_bytes=comm_bytes, imbalance=work_imbalance(rank_lanes),
-            rank_lanes=rank_lanes, chunks_active=int(active.sum()),
-        ))
-
-    method = "dist-1d" + ("+slimwork" if slimwork else "")
     return DistBFSResult(
-        dist=res.dist, root=root, method=method, ranks=ranks,
+        dist=res.dist, root=root, method=method, ranks=partition.ranks,
         machine=machine.name, network=network.name, iterations=iterations,
         wall_time_s=time.perf_counter() - t0,
     )

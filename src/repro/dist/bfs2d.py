@@ -15,27 +15,45 @@ One iteration is the textbook 2D BFS-SpMV:
 2. **local SpMV** — the column-restricted SlimSell kernel, SlimWork
    skipping decided per row chunk exactly as in 1D;
 3. **row merge** — the C ranks of a grid row reduce-scatter their partial
-   result segments (N/R words).
+   result segments (N/R words; recursive halving, the ⊕ combine charged to
+   the local cost model);
+4. optionally a **frontier transpose** (``transpose=True``, the
+   direction-optimizing variant): rank (i, j) swaps its merged result
+   segment with rank (j, i) so the next iteration can sweep Aᵀ.
 
 Per-iteration traffic is therefore O(N/R + N/C) words instead of the 1D
 decomposition's O(N) — [9]'s scalability argument, reproduced by the
-``bench_dist_scaling`` benchmark.
+``bench_dist_scaling`` benchmark.  Batched traversals exchange the shared
+union payload of :func:`repro.dist.network.batched_frontier_bytes` per
+segment, paying each collective's α terms once per layer for the whole
+batch; ``overlap`` hides that fraction of the wire time behind the local
+sweep.
 """
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
 
-from repro.dist.network import Network, model_allgather
+from repro.dist.network import (
+    Network,
+    batched_frontier_bytes,
+    model_allgather,
+    model_reduce_scatter,
+    model_transpose,
+)
 from repro.dist.partition import Partition1D
 from repro.dist.result import (
+    DistBatchResult,
     DistBFSResult,
     DistIterationStats,
     active_chunk_mask,
+    check_overlap,
     modeled_local_seconds,
     run_global_bfs,
+    simulate_batched,
     work_imbalance,
 )
 from repro.formats.sell import SellCSigma
@@ -70,15 +88,90 @@ def column_split_lengths(rep: SellCSigma, nblocks: int) -> np.ndarray:
     return counts.reshape(nc, C, nblocks).max(axis=1).astype(np.int64)
 
 
+class _Grid2D:
+    """Per-grid invariants shared by every iteration of the 2D model."""
+
+    def __init__(self, rep: SellCSigma, grid: tuple[int, int],
+                 network: Network, transpose: bool):
+        self.R, self.Cg = grid
+        self.ranks = self.R * self.Cg
+        self.rows = Partition1D.balanced(rep.cl, self.R)  # bands → grid rows
+        self.cl2d = column_split_lengths(rep, self.Cg)
+        self.owned = self.rows.counts_per_rank()
+        self.col_seg = -(-rep.N // self.Cg)  # frontier words per grid column
+        self.row_seg = -(-rep.N // self.R)  # partial-result words per row
+        self.tr_seg = -(-rep.N // self.ranks)  # merged segment per rank
+        self.transpose = transpose
+        self.network = network
+        hops = (0 if self.R == 1 else math.log2(self.R)) + \
+               (0 if self.Cg == 1 else math.log2(self.Cg)) + \
+               (1 if transpose else 0)
+        self.latency = hops * network.latency_s
+
+    def comm(self, width: int) -> tuple[int, float]:
+        """(bytes received per rank, modeled seconds) for one iteration."""
+        if self.ranks == 1:
+            return 0, 0.0
+        net = self.network
+        col_bytes = batched_frontier_bytes(self.col_seg, width,
+                                           BYTES_PER_WORD)
+        row_bytes = batched_frontier_bytes(self.row_seg, width,
+                                           BYTES_PER_WORD)
+        comm_bytes = col_bytes + row_bytes
+        t_comm = (model_allgather(net, self.R, col_bytes)
+                  + model_reduce_scatter(net, self.Cg, row_bytes))
+        if self.transpose:
+            tr_bytes = batched_frontier_bytes(self.tr_seg, width,
+                                              BYTES_PER_WORD)
+            comm_bytes += tr_bytes
+            t_comm += model_transpose(net, tr_bytes)
+        return comm_bytes, t_comm
+
+
+def _profile_2d(rep: SellCSigma, g2d: _Grid2D, machine: Machine,
+                slimwork: bool, overlap: float,
+                schedule) -> list[DistIterationStats]:
+    """Map a union iteration schedule onto the (R, C) grid and the wire."""
+    semiring = get_semiring("tropical")
+    slim = not rep.has_val
+    R, Cg = g2d.R, g2d.Cg
+    rowner, owned = g2d.rows.owner, g2d.owned
+    iterations: list[DistIterationStats] = []
+    for k, width, newly, active in schedule:
+        processed = np.bincount(rowner[active], minlength=R)
+        # layers[i, j] = Σ cl2d[c, j] over active chunks of grid row i.
+        layers = np.zeros((R, Cg), dtype=np.int64)
+        np.add.at(layers, rowner[active], g2d.cl2d[active])
+        rank_lanes = (layers * rep.C).reshape(g2d.ranks)
+        t_local = max(
+            modeled_local_seconds(machine, semiring, rep.C, slim,
+                                  int(processed[i]),
+                                  int(owned[i] - processed[i]),
+                                  int(layers[i, j]), slimwork, batch=width)
+            for i in range(R) for j in range(Cg))
+        comm_bytes, t_comm = g2d.comm(width)
+        iterations.append(DistIterationStats(
+            k=k, newly=newly, t_local_s=t_local, t_comm_s=t_comm,
+            comm_bytes=comm_bytes, imbalance=work_imbalance(rank_lanes),
+            rank_lanes=rank_lanes, chunks_active=int(active.sum()),
+            width=width, overlap=overlap,
+            comm_latency_s=0.0 if g2d.ranks == 1 else g2d.latency,
+        ))
+    return iterations
+
+
 def bfs_dist_2d(
     rep: SellCSigma,
-    root: int,
+    root,
     grid: tuple[int, int],
     machine: Machine,
     network: Network,
     *,
     slimwork: bool = True,
-) -> DistBFSResult:
+    batch: int | None = None,
+    overlap: float = 0.0,
+    transpose: bool = False,
+) -> DistBFSResult | DistBatchResult:
     """Simulate a 2D-distributed BFS-SpMV on an ``(R, C)`` process grid.
 
     Parameters
@@ -87,7 +180,8 @@ def bfs_dist_2d(
         A built :class:`~repro.formats.slimsell.SlimSell` (or
         :class:`~repro.formats.sell.SellCSigma`) representation.
     root:
-        Traversal root in original vertex ids.
+        Traversal root in original vertex ids, or a sequence of roots for a
+        batched multi-source sweep.
     grid:
         ``(R, C)`` process grid dimensions; both must be ≥ 1.  Grids with
         more cells than chunks are legal (surplus ranks idle).
@@ -95,10 +189,19 @@ def bfs_dist_2d(
         Node and interconnect descriptors for the cost model.
     slimwork:
         Enable §III-C chunk skipping inside each rank's local SpMV.
+    batch:
+        With a roots sequence: columns per SpMM sweep (``None`` = all roots
+        in one sweep); ``batch=1`` reproduces the single-source model per
+        root, cost term for cost term.
+    overlap:
+        Fraction (0..1) of each collective hidden behind the local sweep.
+    transpose:
+        Charge the direction-optimizing variant's frontier transpose (rank
+        (i, j) ↔ (j, i) segment swap) on top of the two collectives.
 
     Returns
     -------
-    DistBFSResult
+    DistBFSResult | DistBatchResult
         Exact distances plus per-iteration profiles whose iteration count
         and ``newly`` series match the 1D simulation (the global computation
         is identical; only its mapping onto ranks differs).
@@ -106,52 +209,33 @@ def bfs_dist_2d(
     R, C_grid = grid
     if R < 1 or C_grid < 1:
         raise ValueError(f"grid dimensions must be >= 1, got {grid!r}")
+    overlap = check_overlap(overlap)
+    method = "dist-2d" + ("+slimwork" if slimwork else "")
+    if np.ndim(root) != 0:
+        g2d = _Grid2D(rep, grid, network, transpose)
+        return simulate_batched(
+            rep, root, batch=batch, slimwork=slimwork,
+            profile=lambda schedule: _profile_2d(
+                rep, g2d, machine, slimwork, overlap, schedule),
+            method=method, ranks=g2d.ranks, machine=machine.name,
+            network=network.name, overlap=overlap)
+    if batch is not None and batch != 1:
+        raise ValueError("batch= requires a sequence of roots; "
+                         "pass root=[...] for a multi-source sweep")
     if not 0 <= root < rep.n:
         raise ValueError(f"root {root} out of range [0, {rep.n})")
 
     t0 = time.perf_counter()
-    ranks = R * C_grid
-    semiring = get_semiring("tropical")
-    slim = not rep.has_val
     res, levels = run_global_bfs(rep, root, slimwork)
-
-    rows = Partition1D.balanced(rep.cl, R)  # chunk bands → grid rows
-    cl2d = column_split_lengths(rep, C_grid)  # per-chunk per-column-block work
-    rowner = rows.owner
-    owned = rows.counts_per_rank()
-    if ranks == 1:
-        comm_bytes = 0
-        t_comm = 0.0
-    else:
-        col_seg = -(-rep.N // C_grid)  # frontier segment assembled per column
-        row_seg = -(-rep.N // R)  # partial-result segment merged per row
-        comm_bytes = BYTES_PER_WORD * (col_seg + row_seg)
-        t_comm = (model_allgather(network, R, BYTES_PER_WORD * col_seg)
-                  + model_allgather(network, C_grid, BYTES_PER_WORD * row_seg))
-
-    iterations: list[DistIterationStats] = []
-    for it in res.iterations:
-        active = active_chunk_mask(levels, rep.nc, rep.C, it.k, slimwork)
-        processed = np.bincount(rowner[active], minlength=R)
-        # layers[i, j] = Σ cl2d[c, j] over active chunks of grid row i.
-        layers = np.zeros((R, C_grid), dtype=np.int64)
-        np.add.at(layers, rowner[active], cl2d[active])
-        rank_lanes = (layers * rep.C).reshape(ranks)
-        t_local = max(
-            modeled_local_seconds(machine, semiring, rep.C, slim,
-                                  int(processed[i]),
-                                  int(owned[i] - processed[i]),
-                                  int(layers[i, j]), slimwork)
-            for i in range(R) for j in range(C_grid))
-        iterations.append(DistIterationStats(
-            k=it.k, newly=it.newly, t_local_s=t_local, t_comm_s=t_comm,
-            comm_bytes=comm_bytes, imbalance=work_imbalance(rank_lanes),
-            rank_lanes=rank_lanes, chunks_active=int(active.sum()),
-        ))
-
-    method = "dist-2d" + ("+slimwork" if slimwork else "")
+    g2d = _Grid2D(rep, grid, network, transpose)
+    schedule = [
+        (it.k, 1, it.newly,
+         active_chunk_mask(levels, rep.nc, rep.C, it.k, slimwork))
+        for it in res.iterations
+    ]
+    iterations = _profile_2d(rep, g2d, machine, slimwork, overlap, schedule)
     return DistBFSResult(
-        dist=res.dist, root=root, method=method, ranks=ranks,
+        dist=res.dist, root=root, method=method, ranks=g2d.ranks,
         machine=machine.name, network=network.name, iterations=iterations,
         wall_time_s=time.perf_counter() - t0,
     )

@@ -105,9 +105,29 @@ class Partition1D:
         return np.bincount(self.owner, weights=cl,
                            minlength=self.ranks).astype(np.int64)
 
-    def counts_per_rank(self) -> np.ndarray:
-        """Number of chunks owned by each rank."""
-        return np.bincount(self.owner, minlength=self.ranks)
+    def counts_per_rank(self, mask: np.ndarray | None = None) -> np.ndarray:
+        """Number of chunks owned by each rank (optionally only those in
+        the bool ``mask`` — e.g. the chunks SlimWork left active)."""
+        owner = self.owner if mask is None else self.owner[mask]
+        return np.bincount(owner, minlength=self.ranks)
+
+    def sum_by_rank(self, weights: np.ndarray,
+                    mask: np.ndarray | None = None) -> np.ndarray:
+        """int64[P]: Σ ``weights[c]`` over each rank's (masked) chunks.
+
+        The per-iteration accounting primitive of the 1D model: with
+        ``weights=cl`` and the active-chunk mask it yields each rank's
+        processed column layers.
+        """
+        weights = np.asarray(weights)
+        if weights.size != self.nchunks:
+            raise ValueError(
+                f"weights has {weights.size} chunks, partition covers "
+                f"{self.nchunks}")
+        owner = self.owner if mask is None else self.owner[mask]
+        w = weights if mask is None else weights[mask]
+        return np.bincount(owner, weights=w,
+                           minlength=self.ranks).astype(np.int64)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Partition1D(ranks={self.ranks}, nchunks={self.nchunks})"

@@ -8,9 +8,18 @@ SlimWork chunk-activity analytically from the final BFS levels: a lane is
 settled before iteration k iff its level is ≤ k−1 (tropical semantics —
 padding lanes stay ∞ and therefore never let their chunk be skipped, exactly
 as in :meth:`repro.semirings.tropical.TropicalSemiring.settled_lanes`).
+
+Batched traversals generalize both halves: the ground truth comes from one
+:class:`repro.bfs.msbfs.MultiSourceBFS` SpMM sweep (bit-identical per column
+to the single-source engine), and the per-iteration activity is the *union*
+of the per-column reconstructions over the columns still live — the set a
+real batched rank would have to process.  :func:`batch_schedule` yields that
+union schedule; the decomposition modules map it onto ranks and wires.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -20,7 +29,7 @@ from repro.formats.sell import SellCSigma
 from repro.semirings.base import SemiringBFS
 from repro.vec.machine import Machine
 
-__all__ = ["DistIterationStats", "DistBFSResult"]
+__all__ = ["DistIterationStats", "DistBFSResult", "DistBatchResult"]
 
 
 @dataclass
@@ -45,6 +54,14 @@ class DistIterationStats:
         int64[P]; padded SpMV lanes (Σ cl·C over processed chunks) per rank.
     chunks_active:
         Chunks processed globally (SlimWork skips fully-settled chunks).
+    width:
+        Frontier columns still live this iteration (1 for single-source).
+    overlap:
+        Fraction of ``t_comm_s`` the runtime may hide behind the local SpMV
+        (0 = bulk-synchronous, the seed model; 1 = perfect overlap).
+    comm_latency_s:
+        The α (per-hop latency) share of ``t_comm_s`` — the term a batch
+        amortizes by paying each collective once per layer.
     """
 
     k: int
@@ -55,11 +72,26 @@ class DistIterationStats:
     imbalance: float
     rank_lanes: np.ndarray
     chunks_active: int = 0
+    width: int = 1
+    overlap: float = 0.0
+    comm_latency_s: float = 0.0
+
+    @property
+    def t_comm_visible_s(self) -> float:
+        """Communication seconds left on the critical path after overlap.
+
+        The ``overlap`` fraction of the collective runs concurrently with
+        the local SpMV, so it is hidden only insofar as ``t_local_s`` is
+        long enough to cover it; the rest is exposed.  ``overlap=0``
+        reproduces the bulk-synchronous seed model exactly.
+        """
+        hidden = min(self.overlap * self.t_comm_s, self.t_local_s)
+        return self.t_comm_s - hidden
 
     @property
     def t_total_s(self) -> float:
-        """Modeled iteration time: compute barrier + collective."""
-        return self.t_local_s + self.t_comm_s
+        """Modeled iteration time: compute barrier + exposed collective."""
+        return self.t_local_s + self.t_comm_visible_s
 
 
 @dataclass
@@ -119,7 +151,96 @@ class DistBFSResult:
         total = self.modeled_total_s
         if total <= 0.0:
             return 0.0
-        return float(sum(it.t_comm_s for it in self.iterations)) / total
+        return float(sum(it.t_comm_visible_s for it in self.iterations)) / total
+
+
+@dataclass
+class DistBatchResult:
+    """Outcome of one simulated batched (multi-source) distributed sweep.
+
+    One :class:`DistIterationStats` per *union* iteration: the collective is
+    charged once per layer for all live columns, and the local term models
+    the SpMM over the union of the per-column active chunks.  Groups (when
+    ``batch`` caps the sweep width below the root count) run back to back;
+    their iteration profiles are concatenated in order.
+
+    Attributes
+    ----------
+    dists:
+        float64[B, n]; per-source hop distances in original vertex ids,
+        bit-identical to ``B`` single-source runs.
+    roots:
+        int64[B]; traversal roots in input order.
+    method:
+        Provenance label (``"dist-1d"`` / ``"dist-2d"``, ``+slimwork``).
+    ranks / machine / network:
+        As in :class:`DistBFSResult`.
+    batch:
+        Maximum sweep width (columns per group); ``B`` when unbounded.
+    overlap:
+        The communication/computation overlap knob the model was run with.
+    groups:
+        Number of consecutive sweeps the roots were chopped into.
+    iterations:
+        Union-iteration profiles of every group, concatenated.
+    wall_time_s:
+        Wall clock of the simulation itself (the real batched sweeps).
+    """
+
+    dists: np.ndarray
+    roots: np.ndarray
+    method: str
+    ranks: int
+    machine: str
+    network: str
+    batch: int
+    overlap: float
+    groups: int
+    iterations: list[DistIterationStats] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def n_sources(self) -> int:
+        """Number of traversals simulated (frontier columns)."""
+        return int(self.roots.size)
+
+    @property
+    def n_iterations(self) -> int:
+        """Union iterations executed, summed over groups."""
+        return len(self.iterations)
+
+    @property
+    def reached(self) -> np.ndarray:
+        """int64[B]; vertices reached (finite distance) per source."""
+        return np.isfinite(self.dists).sum(axis=1)
+
+    @property
+    def modeled_total_s(self) -> float:
+        """Modeled end-to-end seconds: Σ per-iteration (local + exposed comm)."""
+        return float(sum(it.t_total_s for it in self.iterations))
+
+    @property
+    def modeled_per_source_s(self) -> float:
+        """Amortized modeled seconds per traversal — the batching headline."""
+        return self.modeled_total_s / self.n_sources
+
+    @property
+    def total_comm_bytes(self) -> int:
+        """Total collective bytes received per rank across all iterations."""
+        return int(sum(it.comm_bytes for it in self.iterations))
+
+    @property
+    def total_comm_latency_s(self) -> float:
+        """Σ α terms — the per-layer latency the batch pays once per sweep."""
+        return float(sum(it.comm_latency_s for it in self.iterations))
+
+    @property
+    def comm_fraction(self) -> float:
+        """Communication share of the modeled total (0 when nothing is modeled)."""
+        total = self.modeled_total_s
+        if total <= 0.0:
+            return 0.0
+        return float(sum(it.t_comm_visible_s for it in self.iterations)) / total
 
 
 # ----------------------------------------------------------------------
@@ -144,28 +265,120 @@ def run_global_bfs(rep: SellCSigma, root: int, slimwork: bool):
 
 def active_chunk_mask(levels: np.ndarray, nc: int, C: int, k: int,
                       slimwork: bool) -> np.ndarray:
-    """Bool[nc]: chunks processed in iteration ``k`` (1-based).
+    """Bool[nc] (or bool[nc, W]): chunks processed in iteration ``k``.
 
     Without SlimWork every chunk is processed; with it, a chunk is skipped
-    iff all of its lanes settled in iterations < k (level ≤ k−1).
+    iff all of its lanes settled in iterations < k (level ≤ k−1).  A 2-D
+    ``levels`` of shape (N, W) — one column per batched source — yields the
+    per-column decision matrix; ``k`` is 1-based either way.
     """
     if not slimwork:
-        return np.ones(nc, dtype=bool)
-    settled = (levels <= k - 1).reshape(nc, C)
+        shape = (nc,) if levels.ndim == 1 else (nc, levels.shape[1])
+        return np.ones(shape, dtype=bool)
+    if levels.ndim == 1:
+        settled = (levels <= k - 1).reshape(nc, C)
+        return ~settled.all(axis=1)
+    settled = (levels <= k - 1).reshape(nc, C, levels.shape[1])
     return ~settled.all(axis=1)
 
 
 def modeled_local_seconds(machine: Machine, semiring: SemiringBFS, C: int,
                           slim: bool, processed_chunks: int,
                           skipped_chunks: int, processed_layers: int,
-                          slimwork: bool) -> float:
-    """Model one rank's local SpMV share on ``machine`` via the cost model."""
+                          slimwork: bool, batch: int = 1) -> float:
+    """Model one rank's local SpMV/SpMM share on ``machine`` via the cost model.
+
+    ``batch`` is the number of live frontier columns the rank carries
+    through its chunks: the ``col``/``val`` operand streams are charged once
+    per layer while gathers and semiring compute scale with the width
+    (:func:`repro.bfs.spmv.synthesize_counters`); ``batch=1`` reproduces the
+    single-source model exactly.
+    """
     from repro.bfs.spmv import synthesize_counters
     from repro.perf.costmodel import model_vector_iteration
 
     counters = synthesize_counters(semiring, C, slim, processed_chunks,
-                                   skipped_chunks, processed_layers, slimwork)
+                                   skipped_chunks, processed_layers, slimwork,
+                                   batch=batch)
     return model_vector_iteration(machine, counters).t_total
+
+
+def check_overlap(overlap: float) -> float:
+    """Validate the communication/computation overlap knob (0 ≤ f ≤ 1)."""
+    overlap = float(overlap)
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError(f"overlap must be in [0, 1], got {overlap}")
+    return overlap
+
+
+def group_widths(nroots: int, batch: int | None) -> list[int]:
+    """Column counts of the consecutive sweeps ``batch`` chops roots into."""
+    if batch is not None and batch < 1:
+        raise ValueError(f"batch must be >= 1 or None, got {batch}")
+    if batch is None or batch >= nroots:
+        return [nroots]
+    return [min(batch, nroots - i) for i in range(0, nroots, batch)]
+
+
+def batch_schedule(rep: SellCSigma, roots, slimwork: bool):
+    """Union iteration schedule of one batched sweep: the dist ground truth.
+
+    Runs the real batched engine once (:func:`repro.bfs.msbfs.batched_levels`
+    — bit-identical per column to the single-source layer engine), then
+    yields, per union iteration ``k`` while any column is live::
+
+        (k, width, newly, active)
+
+    where ``width`` is the number of live columns, ``newly`` the vertices
+    settled across them, and ``active`` the bool[nc] union of the per-column
+    SlimWork chunk decisions — what a batched rank actually processes.
+    Returns ``(dists, schedule)`` with ``dists`` of shape (B, n).
+    """
+    from repro.bfs.msbfs import batched_levels
+
+    results, levels = batched_levels(rep, roots, slimwork=slimwork)
+    n_iters = np.array([len(r.iterations) for r in results], dtype=np.int64)
+    schedule = []
+    for k in range(1, int(n_iters.max()) + 1):
+        live = np.flatnonzero(n_iters >= k)
+        per_col = active_chunk_mask(levels[:, live], rep.nc, rep.C, k,
+                                    slimwork)
+        newly = sum(int(results[b].iterations[k - 1].newly) for b in live)
+        schedule.append((k, int(live.size), newly, per_col.any(axis=1)))
+    dists = np.stack([r.dist for r in results])
+    return dists, schedule
+
+
+def simulate_batched(rep: SellCSigma, roots, *, batch: int | None,
+                     slimwork: bool, profile, method: str, ranks: int,
+                     machine: str, network: str,
+                     overlap: float) -> DistBatchResult:
+    """Shared driver of both decompositions' batched paths.
+
+    Chops ``roots`` into groups of ``batch`` columns, runs one
+    :func:`batch_schedule` sweep per group, and hands each group's union
+    schedule to the decomposition-specific ``profile`` callback
+    (``schedule -> list[DistIterationStats]``); everything else — grouping,
+    distance assembly, the result container — is decomposition-independent.
+    """
+    t0 = time.perf_counter()
+    roots = np.asarray(roots, dtype=np.int64)
+    widths = group_widths(roots.size, batch)
+    iterations: list[DistIterationStats] = []
+    dists = []
+    start = 0
+    for w in widths:
+        group = roots[start:start + w]
+        start += w
+        group_dists, schedule = batch_schedule(rep, group, slimwork)
+        dists.append(group_dists)
+        iterations.extend(profile(schedule))
+    return DistBatchResult(
+        dists=np.concatenate(dists), roots=roots, method=method, ranks=ranks,
+        machine=machine, network=network, batch=max(widths), overlap=overlap,
+        groups=len(widths), iterations=iterations,
+        wall_time_s=time.perf_counter() - t0,
+    )
 
 
 def work_imbalance(rank_lanes: np.ndarray) -> float:

@@ -87,6 +87,23 @@ class ValidationError(AssertionError):
     """A BFS tree failed the Graph500 validation."""
 
 
+def sample_roots(graph: Graph, nroots: int, seed: int = 1) -> np.ndarray:
+    """Sample BFS roots the way the Graph500 kernel does.
+
+    ``nroots`` distinct vertices of degree > 0, drawn without replacement
+    from a ``default_rng(seed + 1)`` stream (the kernel derives its root
+    stream from the generation seed).  Shared by :func:`run_graph500`, the
+    benchmark ablations, and the distributed CLI so every multi-root
+    workload in the repo agrees on what "64 sampled roots" means.
+    """
+    candidates = np.flatnonzero(graph.degrees > 0)
+    if candidates.size == 0:
+        raise ValueError("graph has no edges; cannot sample BFS roots")
+    rng = np.random.default_rng(seed + 1)
+    return rng.choice(candidates, size=min(nroots, candidates.size),
+                      replace=False)
+
+
 def validate_bfs_tree(graph: Graph, result: BFSResult) -> None:
     """The five Graph500 tree checks; raises :class:`ValidationError`."""
     if result.parent is None:
@@ -202,12 +219,7 @@ def run_graph500(
             run_group = engine.run_many
     construction = time.perf_counter() - t0
 
-    rng = np.random.default_rng(seed + 1)
-    candidates = np.flatnonzero(graph.degrees > 0)
-    if candidates.size == 0:
-        raise ValueError("graph has no edges; cannot sample BFS roots")
-    roots = rng.choice(candidates, size=min(nroots, candidates.size),
-                       replace=False)
+    roots = sample_roots(graph, nroots, seed)
     report = Graph500Report(scale=scale, edgefactor=edgefactor,
                             n=graph.n, m=graph.m,
                             construction_time_s=construction)

@@ -1,0 +1,168 @@
+"""Unit tests of the CI benchmark-regression gate's comparison logic.
+
+The gate script lives in ``benchmarks/`` (not a package), so it is loaded
+by file path; its ``BENCHES`` registry is stubbed with a canned payload so
+these tests exercise the baseline/point machinery — tolerance bounds,
+direction handling, best-of-N damping, the --inject self-test, exit codes —
+without re-running any real sweep.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture()
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", REPO / "benchmarks" / "check_regression.py")
+    mod = importlib.util.module_from_spec(spec)
+    # dataclasses resolves cls.__module__ through sys.modules at class
+    # creation, so the file-loaded module must be registered while exec'd.
+    sys.modules["check_regression"] = mod
+    try:
+        spec.loader.exec_module(mod)
+        yield mod
+    finally:
+        sys.modules.pop("check_regression", None)
+
+
+def make_bench(gate, payload):
+    """A stub bench: runs return ``payload``, points read two metrics."""
+
+    def run():
+        return json.loads(json.dumps(payload))  # fresh copy per sweep
+
+    def extract(p):
+        return [
+            gate.Point("speedup", p["speedup"], "higher", True),
+            gate.Point("bytes", p["bytes"], "lower", False),
+        ]
+
+    return run, extract
+
+
+def write_baseline(tmp_path, payload, gated=None):
+    doc = {"workload": {}, "quick_baseline": dict(payload)}
+    if gated is not None:
+        doc["quick_baseline"]["gated_points"] = gated
+    path = tmp_path / "BENCH_stub.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def run_gate(gate, tmp_path, fresh, baseline, tolerance=0.25, inject=1.0):
+    run, extract = make_bench(gate, fresh)
+    gate.BENCHES = {"stub": ("BENCH_stub.json", run, extract, False)}
+    write_baseline(tmp_path, baseline)
+    return gate.check(tmp_path, tolerance, inject, repeats=2)
+
+
+class TestGate:
+    def test_identical_passes(self, gate, tmp_path):
+        p = {"speedup": 4.0, "bytes": 1000}
+        assert run_gate(gate, tmp_path, p, p) == 0
+
+    def test_within_tolerance_passes(self, gate, tmp_path):
+        fresh = {"speedup": 3.2, "bytes": 1200}
+        base = {"speedup": 4.0, "bytes": 1000}
+        assert run_gate(gate, tmp_path, fresh, base) == 0
+
+    def test_speedup_regression_fails(self, gate, tmp_path):
+        fresh = {"speedup": 2.9, "bytes": 1000}
+        base = {"speedup": 4.0, "bytes": 1000}
+        assert run_gate(gate, tmp_path, fresh, base) == 1
+
+    def test_bytes_regression_fails(self, gate, tmp_path):
+        fresh = {"speedup": 4.0, "bytes": 1300}
+        base = {"speedup": 4.0, "bytes": 1000}
+        assert run_gate(gate, tmp_path, fresh, base) == 1
+
+    def test_improvements_pass(self, gate, tmp_path):
+        fresh = {"speedup": 9.0, "bytes": 10}
+        base = {"speedup": 4.0, "bytes": 1000}
+        assert run_gate(gate, tmp_path, fresh, base) == 0
+
+    def test_injected_slowdown_trips_gate(self, gate, tmp_path):
+        # The self-test knob: identical numbers must fail once a simulated
+        # slowdown beyond the tolerance is injected into timing metrics.
+        p = {"speedup": 4.0, "bytes": 1000}
+        assert run_gate(gate, tmp_path, p, p, inject=1.5) == 1
+        assert run_gate(gate, tmp_path, p, p, inject=1.1) == 0
+
+    def test_inject_spares_non_timing_metrics(self, gate, tmp_path):
+        # bytes is not a timing metric: a huge injected slowdown alone
+        # must not flag it, so failures come from the speedup point only.
+        fresh = {"speedup": 4.0, "bytes": 1000}
+        run, extract = make_bench(gate, fresh)
+        gate.BENCHES = {"stub": ("BENCH_stub.json", run, extract, False)}
+        write_baseline(tmp_path, fresh)
+        assert gate.check(tmp_path, 0.25, 10.0, repeats=1) == 1
+
+    def test_missing_baseline_errors(self, gate, tmp_path):
+        run, extract = make_bench(gate, {"speedup": 1.0, "bytes": 1})
+        gate.BENCHES = {"stub": ("BENCH_stub.json", run, extract, False)}
+        assert gate.check(tmp_path, 0.25, 1.0, repeats=1) == 2
+
+    def test_missing_quick_section_errors(self, gate, tmp_path):
+        run, extract = make_bench(gate, {"speedup": 1.0, "bytes": 1})
+        gate.BENCHES = {"stub": ("BENCH_stub.json", run, extract, False)}
+        (tmp_path / "BENCH_stub.json").write_text(json.dumps({"workload": {}}))
+        assert gate.check(tmp_path, 0.25, 1.0, repeats=1) == 2
+
+    def test_gated_points_override_payload(self, gate, tmp_path):
+        # The stamped best-of-N envelope, not the raw payload value, is
+        # what the gate holds fresh runs against.
+        fresh = {"speedup": 4.0, "bytes": 1000}
+        run, extract = make_bench(gate, fresh)
+        gate.BENCHES = {"stub": ("BENCH_stub.json", run, extract, False)}
+        write_baseline(
+            tmp_path,
+            {"speedup": 1.0, "bytes": 1000},
+            gated={"speedup": 8.0},
+        )
+        assert gate.check(tmp_path, 0.25, 1.0, repeats=1) == 1
+
+    def test_new_point_is_not_a_failure(self, gate, tmp_path):
+        fresh = {"speedup": 4.0, "bytes": 1000}
+        run, _ = make_bench(gate, fresh)
+
+        def extract_more(p):
+            return [
+                gate.Point("speedup", p["speedup"], "higher", True),
+                gate.Point("brand-new", 1.0, "higher", True),
+            ]
+
+        gate.BENCHES = {"stub": ("BENCH_stub.json", run, extract_more, False)}
+        doc = {
+            "quick_baseline": {
+                "speedup": 4.0,
+                "bytes": 1000,
+                "gated_points": {"speedup": 4.0},
+            }
+        }
+        (tmp_path / "BENCH_stub.json").write_text(json.dumps(doc))
+        assert gate.check(tmp_path, 0.25, 1.0, repeats=1) == 0
+
+
+class TestBestPoints:
+    def test_envelope_takes_best_per_direction(self, gate):
+        seq = iter([3.0, 5.0, 4.0])
+
+        def run():
+            return {"v": next(seq)}
+
+        def extract(p):
+            return [
+                gate.Point("hi", p["v"], "higher", True),
+                gate.Point("lo", p["v"], "lower", True),
+            ]
+
+        best = gate._best_points(run, extract, 3)
+        assert best["hi"].value == 5.0
+        assert best["lo"].value == 3.0

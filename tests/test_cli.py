@@ -151,6 +151,32 @@ class TestCommands:
                      "--root", "3"]) == 0
         assert "root=3" in capsys.readouterr().out
 
+    def test_dist_batched_1d(self, capsys):
+        assert main(["dist", "kronecker:8,4", "--ranks", "4", "-C", "8",
+                     "--nroots", "8", "--batch", "4", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "sources=8" in out and "batch=4" in out and "groups=2" in out
+        assert "ms/source" in out and "paid once per layer" in out
+        assert "width=" in out
+
+    def test_dist_batched_2d_overlap_transpose(self, capsys):
+        assert main(["dist", "kronecker:8,4", "--grid", "2x2", "-C", "8",
+                     "--nroots", "4", "--overlap", "0.5", "--transpose"]) == 0
+        out = capsys.readouterr().out
+        assert "method=dist-2d" in out and "overlap=0.5" in out
+
+    def test_dist_batch_requires_nroots(self):
+        with pytest.raises(SystemExit, match="nroots"):
+            main(["dist", "kronecker:8,4", "--batch", "4"])
+
+    def test_dist_transpose_requires_grid(self):
+        with pytest.raises(SystemExit, match="grid"):
+            main(["dist", "kronecker:8,4", "--transpose"])
+
+    def test_dist_overlap_out_of_range(self):
+        with pytest.raises(SystemExit, match="overlap"):
+            main(["dist", "kronecker:8,4", "--overlap", "1.5"])
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

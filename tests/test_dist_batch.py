@@ -1,0 +1,302 @@
+"""Edge cases of the batched distributed-BFS model (1D/2D multi-source)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import path_graph
+
+from repro.bfs.validate import reference_distances
+from repro.dist.bfs1d import bfs_dist_1d
+from repro.dist.bfs2d import bfs_dist_2d
+from repro.dist.network import (
+    CRAY_ARIES,
+    ETHERNET_10G,
+    Network,
+    batched_frontier_bytes,
+    model_allgather,
+    model_reduce_scatter,
+    model_transpose,
+)
+from repro.dist.partition import Partition1D
+from repro.dist.result import DistBatchResult
+from repro.formats.slimsell import SlimSell
+from repro.graph500 import sample_roots
+from repro.graphs.kronecker import kronecker
+from repro.vec.machine import get_machine
+
+KNL = get_machine("knl")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = kronecker(9, 8, seed=77)
+    rep = SlimSell(g, 8, g.n)
+    roots = sample_roots(g, 8, seed=3)
+    return g, rep, roots
+
+
+@pytest.fixture(scope="module")
+def part(setup):
+    _, rep, _ = setup
+    return Partition1D.balanced(rep.cl, 4)
+
+
+def assert_same_profile(single, batched):
+    """The batched container at width 1 must match single-source exactly."""
+    assert len(single.iterations) == len(batched.iterations)
+    for a, b in zip(single.iterations, batched.iterations):
+        assert a.k == b.k
+        assert a.newly == b.newly
+        assert a.t_local_s == b.t_local_s
+        assert a.t_comm_s == b.t_comm_s
+        assert a.comm_bytes == b.comm_bytes
+        assert a.chunks_active == b.chunks_active
+        assert b.width == 1
+        assert np.array_equal(a.rank_lanes, b.rank_lanes)
+
+
+class TestBatchOfOne:
+    """batch=1 reproduces the single-source model cost term for cost term."""
+
+    def test_1d_bit_identical(self, setup, part):
+        _, rep, roots = setup
+        for root in roots[:4]:
+            single = bfs_dist_1d(rep, int(root), part, KNL, CRAY_ARIES)
+            batched = bfs_dist_1d(rep, [int(root)], part, KNL, CRAY_ARIES)
+            assert isinstance(batched, DistBatchResult)
+            assert_same_profile(single, batched)
+            assert np.array_equal(single.dist, batched.dists[0])
+            assert single.modeled_total_s == batched.modeled_total_s
+
+    def test_2d_bit_identical(self, setup):
+        _, rep, roots = setup
+        for root in roots[:4]:
+            single = bfs_dist_2d(rep, int(root), (2, 2), KNL, CRAY_ARIES)
+            batched = bfs_dist_2d(rep, [int(root)], (2, 2), KNL, CRAY_ARIES)
+            assert_same_profile(single, batched)
+            assert np.array_equal(single.dist, batched.dists[0])
+
+    def test_batch_1_groups_of_one(self, setup, part):
+        _, rep, roots = setup
+        res = bfs_dist_1d(rep, roots, part, KNL, CRAY_ARIES, batch=1)
+        singles = [bfs_dist_1d(rep, int(r), part, KNL, CRAY_ARIES) for r in roots]
+        assert res.groups == roots.size
+        assert res.n_iterations == sum(s.n_iterations for s in singles)
+        assert res.total_comm_bytes == sum(s.total_comm_bytes for s in singles)
+        # Same addends, different summation tree: equal up to fp rounding.
+        total = sum(s.modeled_total_s for s in singles)
+        assert res.modeled_total_s == pytest.approx(total, rel=1e-12)
+
+
+class TestBatchedCorrectness:
+    def test_distances_match_reference(self, setup, part):
+        g, rep, roots = setup
+        res = bfs_dist_1d(rep, roots, part, KNL, CRAY_ARIES)
+        for j, root in enumerate(roots):
+            ref = reference_distances(g, int(root))
+            d = res.dists[j]
+            assert ((d == ref) | (np.isinf(d) & np.isinf(ref))).all()
+
+    def test_2d_distances_match_reference(self, setup):
+        g, rep, roots = setup
+        res = bfs_dist_2d(rep, roots, (2, 3), KNL, ETHERNET_10G, batch=3)
+        for j, root in enumerate(roots):
+            ref = reference_distances(g, int(root))
+            d = res.dists[j]
+            assert ((d == ref) | (np.isinf(d) & np.isinf(ref))).all()
+
+    def test_batch_wider_than_roots(self, setup, part):
+        _, rep, roots = setup
+        res = bfs_dist_1d(rep, roots, part, KNL, CRAY_ARIES, batch=999)
+        assert res.groups == 1
+        assert res.batch == roots.size
+        assert res.n_sources == roots.size
+
+    def test_duplicate_roots(self, setup, part):
+        g, rep, roots = setup
+        r = int(roots[0])
+        res = bfs_dist_1d(rep, [r, r, r], part, KNL, CRAY_ARIES)
+        assert np.array_equal(res.dists[0], res.dists[1])
+        assert np.array_equal(res.dists[0], res.dists[2])
+
+    def test_disconnected_roots_keep_inf(self, part):
+        g = path_graph(12)
+        rep = SlimSell(g, 4, g.n)
+        p = Partition1D.blocks(rep.nc, 2)
+        res = bfs_dist_1d(rep, [0, 11], p, KNL, CRAY_ARIES)
+        assert res.dists[0][0] == 0 and res.dists[1][11] == 0
+        assert np.isfinite(res.dists).all()  # a path is connected
+
+    def test_scalar_root_with_batch_rejected(self, setup, part):
+        _, rep, roots = setup
+        with pytest.raises(ValueError, match="sequence of roots"):
+            bfs_dist_1d(rep, int(roots[0]), part, KNL, CRAY_ARIES, batch=4)
+        with pytest.raises(ValueError, match="sequence of roots"):
+            bfs_dist_2d(rep, int(roots[0]), (2, 2), KNL, CRAY_ARIES, batch=4)
+
+    def test_invalid_batch_rejected(self, setup, part):
+        _, rep, roots = setup
+        with pytest.raises(ValueError, match="batch"):
+            bfs_dist_1d(rep, roots, part, KNL, CRAY_ARIES, batch=0)
+
+
+class TestAmortization:
+    """The §VI story: a B-wide sweep pays collectives once per layer."""
+
+    def test_comm_volume_amortizes(self, setup, part):
+        _, rep, roots = setup
+        seq = bfs_dist_1d(rep, roots, part, KNL, ETHERNET_10G, batch=1)
+        bat = bfs_dist_1d(rep, roots, part, KNL, ETHERNET_10G)
+        assert bat.total_comm_bytes < seq.total_comm_bytes
+        assert bat.total_comm_latency_s < seq.total_comm_latency_s
+        assert bat.modeled_total_s < seq.modeled_total_s
+
+    def test_union_iterations_shrink(self, setup, part):
+        _, rep, roots = setup
+        seq = bfs_dist_1d(rep, roots, part, KNL, CRAY_ARIES, batch=1)
+        bat = bfs_dist_1d(rep, roots, part, KNL, CRAY_ARIES)
+        assert bat.n_iterations < seq.n_iterations
+        assert bat.n_iterations == max(
+            bfs_dist_1d(rep, int(r), part, KNL, CRAY_ARIES).n_iterations
+            for r in roots
+        )
+
+    def test_newly_totals_conserved(self, setup, part):
+        _, rep, roots = setup
+        seq = bfs_dist_1d(rep, roots, part, KNL, CRAY_ARIES, batch=1)
+        bat = bfs_dist_1d(rep, roots, part, KNL, CRAY_ARIES)
+        assert sum(it.newly for it in seq.iterations) == sum(
+            it.newly for it in bat.iterations
+        )
+
+
+class TestOverlap:
+    def test_zero_overlap_is_bulk_synchronous(self, setup, part):
+        _, rep, roots = setup
+        res = bfs_dist_1d(rep, int(roots[0]), part, KNL, ETHERNET_10G)
+        for it in res.iterations:
+            assert it.t_total_s == it.t_local_s + it.t_comm_s
+
+    def test_full_overlap_hides_min(self, setup, part):
+        _, rep, roots = setup
+        res = bfs_dist_1d(rep, int(roots[0]), part, KNL, ETHERNET_10G, overlap=1.0)
+        for it in res.iterations:
+            assert it.t_total_s == pytest.approx(max(it.t_local_s, it.t_comm_s))
+
+    def test_monotone_in_overlap(self, setup, part):
+        _, rep, roots = setup
+
+        def total(ov):
+            return bfs_dist_1d(
+                rep, roots, part, KNL, ETHERNET_10G, overlap=ov
+            ).modeled_total_s
+
+        totals = [total(ov) for ov in (0.0, 0.25, 0.5, 1.0)]
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+    def test_overlap_applies_to_2d(self, setup):
+        _, rep, roots = setup
+        r0 = bfs_dist_2d(rep, roots, (2, 2), KNL, ETHERNET_10G)
+        r1 = bfs_dist_2d(rep, roots, (2, 2), KNL, ETHERNET_10G, overlap=1.0)
+        assert r1.modeled_total_s <= r0.modeled_total_s
+        assert r1.total_comm_bytes == r0.total_comm_bytes  # volume unchanged
+
+    def test_out_of_range_rejected(self, setup, part):
+        _, rep, roots = setup
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError, match="overlap"):
+                bfs_dist_1d(rep, roots, part, KNL, CRAY_ARIES, overlap=bad)
+            with pytest.raises(ValueError, match="overlap"):
+                bfs_dist_2d(rep, roots, (2, 2), KNL, CRAY_ARIES, overlap=bad)
+
+
+class TestCollectiveModels:
+    def test_reduce_scatter_monotone_in_ranks(self):
+        for net in (CRAY_ARIES, ETHERNET_10G):
+            times = [model_reduce_scatter(net, p, 10**6) for p in range(1, 65)]
+            assert all(a <= b for a, b in zip(times, times[1:]))
+            assert times[0] == 0.0 and times[1] > 0.0
+
+    def test_reduce_scatter_monotone_in_bytes(self):
+        for net in (CRAY_ARIES, ETHERNET_10G):
+            times = [model_reduce_scatter(net, 8, b) for b in (0, 10, 10**3, 10**6)]
+            assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_reduce_scatter_matches_seed_row_merge(self):
+        # The seed modeled the row merge as an allgather-shaped collective;
+        # the proper reduce-scatter moves the same volume over the same
+        # hops, which is what keeps single-source 2D totals unchanged.
+        net = Network("toy", latency_s=1e-6, bandwidth_gbs=1.0)
+        assert model_reduce_scatter(net, 4, 8000) == model_allgather(net, 4, 8000)
+
+    def test_reduce_scatter_term_monotone_in_grid_shape(self, setup):
+        # Growing R shrinks the merged row segment, so the row term (and
+        # with it the per-iteration bytes) falls at fixed grid columns.
+        _, rep, roots = setup
+        bytes_by_r = [
+            bfs_dist_2d(rep, roots, (R, 2), KNL, CRAY_ARIES).iterations[0].comm_bytes
+            for R in (2, 4, 8)
+        ]
+        assert all(a > b for a, b in zip(bytes_by_r, bytes_by_r[1:]))
+
+    def test_transpose_adds_cost(self, setup):
+        _, rep, roots = setup
+        plain = bfs_dist_2d(rep, roots, (2, 2), KNL, CRAY_ARIES)
+        trans = bfs_dist_2d(rep, roots, (2, 2), KNL, CRAY_ARIES, transpose=True)
+        assert trans.total_comm_bytes > plain.total_comm_bytes
+        assert trans.modeled_total_s > plain.modeled_total_s
+        assert trans.total_comm_latency_s > plain.total_comm_latency_s
+
+    def test_transpose_model_basics(self):
+        net = Network("toy", latency_s=1e-6, bandwidth_gbs=1.0)
+        assert model_transpose(net, 0) == 0.0
+        assert model_transpose(net, 10**9) == pytest.approx(1.0 + 1e-6)
+        with pytest.raises(ValueError, match="nbytes"):
+            model_transpose(net, -1)
+
+    def test_batched_frontier_bytes(self):
+        n = 1000
+        assert batched_frontier_bytes(n, 1) == 4 * n
+        two = batched_frontier_bytes(n, 2)
+        assert two == 4 * n + (2 * n + 7) // 8
+        # Marginal column cost is an N-bit bitmap, 32x below a dense vector.
+        for w in (2, 8, 64):
+            total = batched_frontier_bytes(n, w)
+            assert total < w * 4 * n
+            assert total / w < batched_frontier_bytes(n, 1)
+        with pytest.raises(ValueError, match="width"):
+            batched_frontier_bytes(n, 0)
+        with pytest.raises(ValueError, match="nwords"):
+            batched_frontier_bytes(-1, 1)
+
+
+class TestRootOrderInvariance:
+    @settings(
+        deadline=None,
+        max_examples=12,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(perm=st.permutations(list(range(6))))
+    def test_modeled_totals_invariant(self, setup, part, perm):
+        _, rep, roots = setup
+        base = bfs_dist_1d(rep, roots[:6], part, KNL, ETHERNET_10G)
+        shuf = bfs_dist_1d(rep, roots[:6][list(perm)], part, KNL, ETHERNET_10G)
+        assert shuf.modeled_total_s == base.modeled_total_s
+        assert shuf.total_comm_bytes == base.total_comm_bytes
+        assert shuf.n_iterations == base.n_iterations
+        assert np.array_equal(shuf.dists, base.dists[list(perm)])
+
+    @settings(
+        deadline=None,
+        max_examples=8,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(perm=st.permutations(list(range(5))))
+    def test_2d_invariant(self, setup, perm):
+        _, rep, roots = setup
+        base = bfs_dist_2d(rep, roots[:5], (2, 2), KNL, CRAY_ARIES)
+        shuf = bfs_dist_2d(rep, roots[:5][list(perm)], (2, 2), KNL, CRAY_ARIES)
+        assert shuf.modeled_total_s == base.modeled_total_s
+        assert np.array_equal(shuf.dists, base.dists[list(perm)])

@@ -9,7 +9,6 @@ from repro.bfs.spmv import bfs_spmv
 from repro.bfs.traditional import bfs_serial, bfs_top_down
 from repro.bfs.validate import check_parents_valid, reference_distances
 from repro.formats.sell import SellCSigma, sigma_sort_permutation
-from repro.formats.slimsell import SlimSell
 from repro.formats.storage import formula_cells, storage_report
 from repro.graphs.erdos_renyi import _pairs_from_ranks
 from repro.graphs.graph import Graph

@@ -1,7 +1,6 @@
 """Tests of SlimChunk work-unit decomposition (§III-D)."""
 
 import numpy as np
-import pytest
 
 from repro.bfs.slimchunk import WorkUnit, make_work_units, unit_costs
 from repro.bfs.spmv import BFSSpMV

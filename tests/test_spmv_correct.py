@@ -1,6 +1,5 @@
 """Correctness matrix: every BFS-SpMV configuration vs the SciPy oracle."""
 
-import numpy as np
 import pytest
 
 from repro.bfs.spmv import BFSSpMV, bfs_spmv

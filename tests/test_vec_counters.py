@@ -35,8 +35,11 @@ class TestBasicAccounting:
 class TestArithmetic:
     def test_iadd_merges(self):
         a, b = OpCounters(), OpCounters()
-        a.count("ADD", 2); a.load(4)
-        b.count("ADD", 1); b.count("MUL", 3); b.store(2)
+        a.count("ADD", 2)
+        a.load(4)
+        b.count("ADD", 1)
+        b.count("MUL", 3)
+        b.store(2)
         a += b
         assert a.instructions == {"ADD": 3, "MUL": 3}
         assert a.words_loaded == 4 and a.words_stored == 2
@@ -59,9 +62,14 @@ class TestArithmetic:
 
     def test_diff_subtracts_snapshot(self):
         a = OpCounters()
-        a.count("ADD", 5); a.load(10, gather=True); a.store(3)
+        a.count("ADD", 5)
+        a.load(10, gather=True)
+        a.store(3)
         snap = a.copy()
-        a.count("ADD", 2); a.count("MIN", 1); a.load(4); a.store(1)
+        a.count("ADD", 2)
+        a.count("MIN", 1)
+        a.load(4)
+        a.store(1)
         d = a.diff(snap)
         assert d.instructions == {"ADD": 2, "MIN": 1}
         assert d.words_loaded == 4
@@ -76,7 +84,9 @@ class TestArithmetic:
 
     def test_reset_clears_everything(self):
         a = OpCounters()
-        a.count("ADD", 5); a.load(10, gather=True); a.store(3)
+        a.count("ADD", 5)
+        a.load(10, gather=True)
+        a.store(3)
         a.reset()
         assert a.total_instructions == 0
         assert a.total_words == 0

@@ -117,9 +117,15 @@ class TestCounting:
     def test_every_op_counts_one_instruction(self):
         vu = VectorUnit(4)
         a = np.zeros(4)
-        vu.min(a, a); vu.max(a, a); vu.add(a, a); vu.mul(a, a)
-        vu.cmp(a, a, "EQ"); vu.blend(a, a, a.astype(bool))
-        vu.logical_and(a, a); vu.logical_or(a, a); vu.logical_not(a)
+        vu.min(a, a)
+        vu.max(a, a)
+        vu.add(a, a)
+        vu.mul(a, a)
+        vu.cmp(a, a, "EQ")
+        vu.blend(a, a, a.astype(bool))
+        vu.logical_and(a, a)
+        vu.logical_or(a, a)
+        vu.logical_not(a)
         assert vu.counters.total_instructions == 9
         assert vu.counters.lanes == 9 * 4
 
