@@ -41,7 +41,9 @@ def write_bench_json(path, payload: dict) -> None:
             old = {}
         if "quick_baseline" in old:
             payload = {**payload, "quick_baseline": old["quick_baseline"]}
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    # Strict JSON: refuse NaN/Infinity instead of emitting the Python-only
+    # literals no other tooling can parse (benches must stringify them).
+    path.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
 
 
 def _jsonify(obj):

@@ -25,6 +25,46 @@ from repro.vec.machine import get_machine
 
 from _common import print_table, save_results
 
+#: Deterministic smoke configuration for the regression gate
+#: (``benchmarks/check_regression.py``): the modeled curves are pure
+#: functions of (graph, representation, cost model) — counted work times
+#: analytic per-op costs, no wall clock — so the committed baseline is an
+#: exact change detector for the single-source SpMV engine + KNL model.
+QUICK = {"scale": 9, "edgefactor": 32, "seed": 2023}
+
+
+def run_quick(scale: int | None = None, edgefactor: float | None = None,
+              seed: int | None = None) -> dict:
+    """Modeled Fig-1 curves at a deterministic smoke scale.
+
+    Returns the per-iteration modeled KNL times of the plain and SlimWork
+    SpMV traversals plus their totals — the quantities the bench-gate
+    pins.  Unlike the pytest bench above, nothing here is timed: a changed
+    number means changed counted work or a changed cost model, never a
+    noisy host.
+    """
+    from repro.graphs.kronecker import kronecker
+
+    scale = QUICK["scale"] if scale is None else scale
+    edgefactor = QUICK["edgefactor"] if edgefactor is None else edgefactor
+    seed = QUICK["seed"] if seed is None else seed
+    g = kronecker(scale, edgefactor, seed=seed)
+    root = int(np.argmax(g.degrees))
+    rep = SlimSell(g, C=16, sigma=g.n)
+    knl = get_machine("knl")
+    plain = BFSSpMV(rep, "tropical", counting=True).run(root)
+    slim = BFSSpMV(rep, "tropical", counting=True, slimwork=True).run(root)
+    t_plain = _series(model_bfs_result(knl, plain))
+    t_slim = _series(model_bfs_result(knl, slim))
+    return {
+        "workload": {"scale": scale, "edgefactor": edgefactor, "seed": seed,
+                     "n": g.n, "m": g.m, "root": root, "C": 16,
+                     "machine": "knl", "semiring": "tropical"},
+        "series": {"spmv_slimsell": t_plain, "spmv_slimwork": t_slim},
+        "modeled_total_s": {"spmv_slimsell": float(sum(t_plain)),
+                            "spmv_slimwork": float(sum(t_slim))},
+    }
+
 
 def _series(times):
     return [t.t_total for t in times]

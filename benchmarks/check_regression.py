@@ -14,7 +14,11 @@ What is compared is deliberately machine-portable:
   host's absolute speed divides out);
 * ``bench_dist_batch`` — the distributed model's ``modeled_total_s`` and
   ``comm_bytes_per_rank`` series, which are deterministic functions of the
-  code (chunk activity × analytic cost model), i.e. exact change detectors.
+  code (chunk activity × analytic cost model), i.e. exact change detectors;
+* ``bench_serve`` — the serving layer's batched-vs-per-query kernel
+  throughput *ratios* (same-process quotients, machine-portable);
+* ``bench_fig01_headline`` — the modeled single-source Fig-1 totals
+  (counted work × KNL cost model: deterministic, like the dist series).
 
 Usage::
 
@@ -125,6 +129,46 @@ def _extract_dist_batch(payload: dict) -> list[Point]:
     return points
 
 
+def _run_serve_quick() -> dict:
+    import bench_serve as m
+
+    return m.run_sweep(
+        m.QUICK["scale"],
+        m.QUICK["edgefactor"],
+        m.QUICK["nqueries"],
+        m.QUICK["root_pool"],
+        m.QUICK["zipf"],
+        m.QUICK["max_batches"],
+        m.QUICK["rates"],
+    )
+
+
+def _extract_serve(payload: dict) -> list[Point]:
+    return [
+        Point(
+            f"rate={r['rate']},B={r['B']}.speedup_vs_per_query",
+            r["speedup_vs_per_query"],
+            "higher",
+            True,
+        )
+        for r in payload["grid"]
+        if r["B"] != 1
+    ]
+
+
+def _run_fig01_quick() -> dict:
+    import bench_fig01_headline as m
+
+    return m.run_quick()
+
+
+def _extract_fig01(payload: dict) -> list[Point]:
+    return [
+        Point(f"{name}.modeled_total_s", value, "lower", True)
+        for name, value in payload["modeled_total_s"].items()
+    ]
+
+
 # (baseline file, quick runner, point extractor, deterministic?) — a
 # deterministic bench's points are pure functions of the code, so the
 # best-of-N noise envelope degenerates and one sweep suffices.
@@ -142,6 +186,8 @@ BENCHES = {
         _extract_dist_batch,
         True,
     ),
+    "serve": ("BENCH_serve.json", _run_serve_quick, _extract_serve, False),
+    "fig01": ("BENCH_fig01.json", _run_fig01_quick, _extract_fig01, True),
 }
 
 
@@ -175,8 +221,16 @@ def _best_points(run, extract, repeats: int) -> dict[str, Point]:
     return best
 
 
-def update_baselines(baseline_dir: Path, repeats: int) -> int:
-    for name, (fname, run, extract, deterministic) in BENCHES.items():
+def _selected(only: list[str] | None) -> dict:
+    """The benches to run: all of them, or the ``--only`` subset."""
+    if not only:
+        return BENCHES
+    return {name: BENCHES[name] for name in only}
+
+
+def update_baselines(baseline_dir: Path, repeats: int,
+                     only: list[str] | None = None) -> int:
+    for name, (fname, run, extract, deterministic) in _selected(only).items():
         path = baseline_dir / fname
         if not path.exists():
             print(f"SKIP {name}: no committed {fname} to stamp", flush=True)
@@ -199,10 +253,11 @@ def update_baselines(baseline_dir: Path, repeats: int) -> int:
     return 0
 
 
-def check(baseline_dir: Path, tolerance: float, inject: float, repeats: int) -> int:
+def check(baseline_dir: Path, tolerance: float, inject: float, repeats: int,
+          only: list[str] | None = None) -> int:
     failures = 0
     compared = 0
-    for name, (fname, run, extract, deterministic) in BENCHES.items():
+    for name, (fname, run, extract, deterministic) in _selected(only).items():
         path = baseline_dir / fname
         if not path.exists():
             print(f"ERROR {name}: missing baseline {fname}", file=sys.stderr)
@@ -286,11 +341,18 @@ def main(argv: list[str] | None = None) -> int:
         help="quick sweeps per bench; timing points gate on the best "
         "repeat to damp scheduler noise (default 3)",
     )
+    ap.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(BENCHES),
+        help="restrict to one bench (repeatable); default: all",
+    )
     args = ap.parse_args(argv)
     baseline_dir = Path(args.baseline_dir)
     if args.update_baselines:
-        return update_baselines(baseline_dir, args.repeats)
-    return check(baseline_dir, args.tolerance, args.inject, args.repeats)
+        return update_baselines(baseline_dir, args.repeats, args.only)
+    return check(baseline_dir, args.tolerance, args.inject, args.repeats,
+                 args.only)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ Layout
 ``repro.perf``      cost model + timing/amortization harness
 ``repro.analysis``  Table II work bounds, Eq. (1)/(2)
 ``repro.dist``      §VI distributed-memory BFS simulation (1D/2D)
+``repro.serve``     adaptive micro-batching query server + workloads
 """
 
 from repro.apps import (
@@ -85,6 +86,21 @@ _LAZY_EXPORTS = {
     "DistBFSResult": ("repro.dist.result", "DistBFSResult"),
     "DistBatchResult": ("repro.dist.result", "DistBatchResult"),
     "DistIterationStats": ("repro.dist.result", "DistIterationStats"),
+    # repro.serve — the adaptive micro-batching query server; lazy for the
+    # same reason as repro.dist (it pulls in both batched engines).
+    "Server": ("repro.serve.server", "Server"),
+    "AsyncServer": ("repro.serve.server", "AsyncServer"),
+    "ServeStats": ("repro.serve.server", "ServeStats"),
+    "QueryBatcher": ("repro.serve.batcher", "QueryBatcher"),
+    "ResultCache": ("repro.serve.cache", "ResultCache"),
+    "graph_fingerprint": ("repro.serve.cache", "graph_fingerprint"),
+    "Query": ("repro.serve.query", "Query"),
+    "QueryResult": ("repro.serve.query", "QueryResult"),
+    "Rejected": ("repro.serve.query", "Rejected"),
+    "run_open_loop": ("repro.serve.workload", "run_open_loop"),
+    "run_closed_loop": ("repro.serve.workload", "run_closed_loop"),
+    "poisson_arrivals": ("repro.serve.workload", "poisson_arrivals"),
+    "sample_zipf_roots": ("repro.serve.workload", "sample_zipf_roots"),
 }
 
 
@@ -157,5 +173,18 @@ __all__ = [
     "DistBFSResult",
     "DistBatchResult",
     "DistIterationStats",
+    "Server",
+    "AsyncServer",
+    "ServeStats",
+    "QueryBatcher",
+    "ResultCache",
+    "graph_fingerprint",
+    "Query",
+    "QueryResult",
+    "Rejected",
+    "run_open_loop",
+    "run_closed_loop",
+    "poisson_arrivals",
+    "sample_zipf_roots",
     "__version__",
 ]

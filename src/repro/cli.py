@@ -8,6 +8,7 @@ Subcommands
 ``storage``   print the Table III storage comparison for a graph
 ``machines``  list the seven modeled evaluation systems
 ``dist``      simulate the §VI distributed BFS (1D ranks or a 2D grid)
+``serve``     run the micro-batching query server under a simulated load
 """
 
 from __future__ import annotations
@@ -245,6 +246,83 @@ def _cmd_dist(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.graph500 import sample_roots
+    from repro.serve.server import Server
+    from repro.serve.workload import (
+        poisson_arrivals,
+        run_closed_loop,
+        run_open_loop,
+        sample_zipf_roots,
+    )
+
+    if args.queries < 1:
+        raise SystemExit(f"--queries must be >= 1, got {args.queries}")
+    if args.max_batch < 1:
+        raise SystemExit(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.max_wait < 0:
+        raise SystemExit(f"--max-wait must be >= 0, got {args.max_wait:g}")
+    if args.cache < 0:
+        raise SystemExit(f"--cache must be >= 0, got {args.cache}")
+    if args.zipf < 0:
+        raise SystemExit(f"--zipf must be >= 0, got {args.zipf:g}")
+    if args.root_pool < 1:
+        raise SystemExit(f"--root-pool must be >= 1, got {args.root_pool}")
+    if args.clients is not None and args.clients < 1:
+        raise SystemExit(f"--clients must be >= 1, got {args.clients}")
+    rate = float("inf") if args.arrival_rate == "inf" else None
+    if rate is None:
+        try:
+            rate = float(args.arrival_rate)
+        except ValueError:
+            raise SystemExit(
+                f"--arrival-rate must be a number or 'inf', "
+                f"got {args.arrival_rate!r}") from None
+        if not rate > 0:
+            raise SystemExit(f"--arrival-rate must be positive, got {rate:g}")
+
+    g = _load_graph(args.graph)
+    server = Server(g, C=args.chunk, max_batch=args.max_batch,
+                    max_wait=args.max_wait, cache_size=args.cache,
+                    max_pending=args.max_pending, alpha=args.alpha)
+    pool = sample_roots(g, args.root_pool, args.seed)
+    roots = sample_zipf_roots(pool, args.queries, args.zipf, seed=args.seed)
+    if args.closed_loop:
+        report = run_closed_loop(server, roots, clients=args.clients,
+                                 semiring=args.semiring)
+        mode = (f"closed-loop ({args.clients or server.max_batch} clients)")
+    else:
+        arrivals = poisson_arrivals(args.queries, rate, seed=args.seed)
+        report = run_open_loop(server, roots, arrivals,
+                               semiring=args.semiring)
+        mode = f"open-loop (Poisson, rate={rate:g}/s)"
+    cs = server.cache.stats
+    print(f"serve n={g.n} m={g.m} {mode}: {report['nqueries']} queries, "
+          f"zipf s={args.zipf:g} over {pool.size} roots, "
+          f"semiring={args.semiring}")
+    print(f"config: max_batch={server.max_batch} "
+          f"max_wait={server.max_wait * 1e3:g}ms cache={args.cache} "
+          f"max_pending={args.max_pending}")
+    print(f"served {report['served']} (rejected {report['rejected']}), "
+          f"{report['batches']} batches, mean width "
+          f"{report['mean_batch_width']:.1f}, "
+          f"cache hits {report['cache_hits']} "
+          f"(hit rate {cs.hit_rate:.1%}), "
+          f"coalesced {report['coalesced']}")
+    print(f"throughput: {report['kernel_throughput_qps']:.0f} q/s kernel, "
+          f"{report['virtual_throughput_qps']:.0f} q/s wall "
+          f"(kernel {report['kernel_s'] * 1e3:.1f} ms)")
+    print(f"latency: p50 {report['latency_p50_s'] * 1e3:.2f} ms, "
+          f"p95 {report['latency_p95_s'] * 1e3:.2f} ms, "
+          f"p99 {report['latency_p99_s'] * 1e3:.2f} ms")
+    if args.verbose:
+        for reason, count in sorted(server.stats.reasons.items()):
+            print(f"  dispatch reason {reason}: {count}")
+        widths = server.stats.widths
+        print(f"  widths: {widths}")
+    return 0
+
+
 def _cmd_machines(_args) -> int:
     from repro.vec.machine import MACHINES
 
@@ -353,6 +431,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable SlimWork chunk skipping")
     d.add_argument("--verbose", "-v", action="store_true")
     d.set_defaults(fn=_cmd_dist)
+
+    sv = sub.add_parser(
+        "serve", help="micro-batching query server under a simulated load")
+    sv.add_argument("graph", help="graph file or generator spec")
+    sv.add_argument("--queries", "-n", type=int, default=256,
+                    help="number of queries in the simulated workload")
+    sv.add_argument("--max-batch", type=int, default=16,
+                    help="frontier columns per dispatched batch")
+    sv.add_argument("--max-wait", type=float, default=2e-3,
+                    help="seconds a query may wait for its batch to fill")
+    sv.add_argument("--cache", type=int, default=1024,
+                    help="result-cache capacity in entries (0 = off)")
+    sv.add_argument("--max-pending", type=int, default=None,
+                    help="pending-query bound; beyond it submits are "
+                         "rejected (default: unbounded)")
+    sv.add_argument("--arrival-rate", default="10000",
+                    help="open-loop Poisson arrival rate in queries/s, or "
+                         "'inf' for an all-at-once burst")
+    sv.add_argument("--zipf", type=float, default=1.1,
+                    help="Zipf exponent of root popularity (0 = uniform)")
+    sv.add_argument("--root-pool", type=int, default=64,
+                    help="distinct Graph500-sampled roots queries draw from")
+    sv.add_argument("--closed-loop", action="store_true",
+                    help="closed-loop saturation workload instead of "
+                         "open-loop Poisson arrivals")
+    sv.add_argument("--clients", type=int, default=None,
+                    help="closed-loop concurrent clients "
+                         "(default: max_batch)")
+    sv.add_argument("--semiring", default="sel-max",
+                    choices=["tropical", "real", "boolean", "sel-max"])
+    sv.add_argument("--alpha", type=float, default=14.0,
+                    help="Beamer threshold of the hybrid engine")
+    sv.add_argument("--chunk", "-C", type=int, default=16,
+                    help="chunk height C")
+    sv.add_argument("--seed", type=int, default=1)
+    sv.add_argument("--verbose", "-v", action="store_true")
+    sv.set_defaults(fn=_cmd_serve)
     return p
 
 

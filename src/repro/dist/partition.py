@@ -58,13 +58,23 @@ class Partition1D:
         return cls(owner, ranks)
 
     @classmethod
-    def balanced(cls, cl: np.ndarray, ranks: int) -> "Partition1D":
+    def balanced(cls, cl: np.ndarray, ranks: int,
+                 weights: np.ndarray | None = None) -> "Partition1D":
         """Work-balanced contiguous bands over the chunk-length prefix sum.
 
         Each chunk's SpMV work is ``cl[c]·C`` lanes; banding the cumulative
         work at multiples of ``total/ranks`` equalizes per-rank work the same
         way Fig 5a's guided schedule equalizes per-thread work.  Degenerate
         inputs (zero total work) fall back to :meth:`blocks`.
+
+        ``weights`` models a heterogeneous cluster: one positive relative
+        throughput per rank (e.g. ``[2, 1, 1]`` = rank 0 is a node twice as
+        fast as the others), and each rank's band carries a work share
+        proportional to its weight, so per-rank *time* equalizes instead of
+        per-rank work.  ``None`` — and any uniform vector, exactly — keeps
+        the equal-share bounds bit-for-bit: the band boundaries are
+        ``total·cumsum(w)/sum(w)``, which reduces to ``total·r/ranks`` when
+        all weights are equal.
         """
         if ranks < 1:
             raise ValueError(f"ranks must be >= 1, got {ranks}")
@@ -72,9 +82,25 @@ class Partition1D:
         total = float(cl.sum())
         if cl.size == 0 or total <= 0.0:
             return cls.blocks(cl.size, ranks)
+        if weights is None:
+            shares = np.arange(1, ranks) / ranks
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (ranks,):
+                raise ValueError(
+                    f"weights must have one entry per rank "
+                    f"({ranks}), got shape {weights.shape}")
+            if not (np.isfinite(weights).all() and (weights > 0).all()):
+                raise ValueError("weights must be positive and finite")
+            if np.all(weights == weights[0]):
+                # Any uniform vector takes the unweighted path so the
+                # bit-for-bit guarantee survives cumsum rounding.
+                shares = np.arange(1, ranks) / ranks
+            else:
+                shares = np.cumsum(weights)[:-1] / weights.sum()
         cum = np.cumsum(cl)
         mid = cum - cl / 2.0  # work midpoint of each chunk
-        bounds = total * np.arange(1, ranks) / ranks
+        bounds = total * shares
         owner = np.searchsorted(bounds, mid, side="right").astype(np.int64)
         return cls(owner, ranks)
 

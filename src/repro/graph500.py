@@ -90,12 +90,31 @@ class ValidationError(AssertionError):
 def sample_roots(graph: Graph, nroots: int, seed: int = 1) -> np.ndarray:
     """Sample BFS roots the way the Graph500 kernel does.
 
-    ``nroots`` distinct vertices of degree > 0, drawn without replacement
-    from a ``default_rng(seed + 1)`` stream (the kernel derives its root
-    stream from the generation seed).  Shared by :func:`run_graph500`, the
-    benchmark ablations, and the distributed CLI so every multi-root
-    workload in the repo agrees on what "64 sampled roots" means.
+    Up to ``nroots`` vertices drawn without replacement from a
+    ``default_rng(seed + 1)`` stream (the kernel derives its root stream
+    from the generation seed).  Shared by :func:`run_graph500`, the
+    benchmark ablations, the distributed CLI, and the serving layer's
+    workload generators, so every multi-root workload in the repo agrees
+    on what "64 sampled roots" means.
+
+    Guarantees (the batched engines and the serving batcher rely on them):
+
+    * every returned root has degree > 0 — an isolated vertex never seeds
+      a traversal (the Graph500 spec's "search keys must have at least one
+      edge" rule);
+    * the returned roots are **pairwise distinct** (sampling is without
+      replacement), so a batch seeded from them needs no duplicate-column
+      coalescing;
+    * asking for more roots than there are non-isolated vertices returns
+      *every* non-isolated vertex (size ``< nroots``) instead of repeating
+      or failing — callers must size batches from ``roots.size``, not from
+      the requested ``nroots``.
+
+    Raises :class:`ValueError` for ``nroots < 1`` and for edgeless graphs
+    (no valid root exists).
     """
+    if nroots < 1:
+        raise ValueError(f"nroots must be >= 1, got {nroots}")
     candidates = np.flatnonzero(graph.degrees > 0)
     if candidates.size == 0:
         raise ValueError("graph has no edges; cannot sample BFS roots")

@@ -1,0 +1,66 @@
+"""Serving layer: adaptive micro-batching of single-root graph queries.
+
+The batched engines (``repro.bfs.msbfs`` / ``repro.bfs.mshybrid``) only
+pay off at width — one (N, B) SpMM sweep is ~B× cheaper per source than B
+single-source sweeps — but real traffic arrives as independent
+single-root queries.  This subsystem is the layer between the two:
+
+* :class:`~repro.serve.query.Query` /
+  :class:`~repro.serve.query.Ticket` — single-root requests (BFS
+  distances, connectivity membership, Graph500-style validation) and
+  their pending handles;
+* :class:`~repro.serve.batcher.QueryBatcher` — coalesces pending queries
+  into (N, B) batches on a width (``max_batch``) or deadline
+  (``max_wait``) trigger, sharing one frontier column per duplicate root;
+* :class:`~repro.serve.cache.ResultCache` — bounded LRU keyed on
+  (graph fingerprint, semiring, root), consulted before enqueue;
+* :class:`~repro.serve.server.Server` — the synchronous driver
+  (``submit()`` / ``drain()``) with backpressure and latency/throughput
+  accounting, plus :class:`~repro.serve.server.AsyncServer`, the asyncio
+  front-end awaiting per-query futures;
+* :class:`~repro.serve.engines.EnginePool` — width-driven engine
+  selection (direction-optimizing hybrid for narrow batches, all-pull
+  SpMM for wide ones), pluggable via ``strategy=``;
+* :mod:`~repro.serve.workload` — closed-loop and open-loop (Poisson
+  arrivals, Zipfian roots) generators driving the server on a virtual
+  arrival clock.
+
+Served answers are bit-identical to direct engine calls — the serving
+path is registered in the cross-engine differential oracle
+(``tests/engines.py``) next to the engines themselves.
+"""
+
+from repro.serve.batcher import Batch, QueryBatcher
+from repro.serve.cache import CacheStats, ResultCache, graph_fingerprint
+from repro.serve.engines import EnginePool, default_strategy
+from repro.serve.query import Query, QueryResult, Rejected, Ticket
+from repro.serve.server import AsyncServer, ServeStats, Server
+from repro.serve.workload import (
+    poisson_arrivals,
+    run_closed_loop,
+    run_open_loop,
+    sample_zipf_roots,
+    zipf_weights,
+)
+
+__all__ = [
+    "AsyncServer",
+    "Batch",
+    "CacheStats",
+    "EnginePool",
+    "Query",
+    "QueryBatcher",
+    "QueryResult",
+    "Rejected",
+    "ResultCache",
+    "ServeStats",
+    "Server",
+    "Ticket",
+    "default_strategy",
+    "graph_fingerprint",
+    "poisson_arrivals",
+    "run_closed_loop",
+    "run_open_loop",
+    "sample_zipf_roots",
+    "zipf_weights",
+]

@@ -1,0 +1,154 @@
+"""Adaptive micro-batching of pending queries.
+
+The batched engines (PRs 2–3) make a traversal ~B× cheaper *per source*
+when B frontier columns share one SpMM sweep — but only if someone turns
+independently-arriving single-root queries into (N, B) batches.  That is
+this module: pending tickets accumulate in per-semiring groups (one SpMM
+sweep runs one semiring), and a group is released as a :class:`Batch`
+when either
+
+* **width** — ``max_batch`` distinct roots accumulated (the profitable
+  batch is full), or
+* **deadline** — ``max_wait`` seconds elapsed since the group's oldest
+  pending query (latency SLO beats batch efficiency), or
+* **drain** — the owner flushes unconditionally (shutdown / sync barrier).
+
+Duplicate roots coalesce: tickets asking the same ``(semiring, root)``
+share one frontier column and are all resolved from its single traversal,
+so k users hammering one root cost the same kernel work as one user.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.query import Ticket
+
+__all__ = ["Batch", "QueryBatcher"]
+
+
+@dataclass
+class Batch:
+    """One released group: the unit of work handed to an engine."""
+
+    semiring: str
+    #: int64[B] distinct roots, column order = first-enqueue order.
+    roots: np.ndarray
+    #: ``tickets[j]`` are the (coalesced) tickets answered by column ``j``.
+    tickets: list[list[Ticket]]
+    #: Enqueue timestamp of the group's oldest query.
+    enqueued_at: float
+    #: What released the batch: ``"width" | "deadline" | "drain"``.
+    reason: str
+
+    @property
+    def width(self) -> int:
+        """Number of frontier columns (distinct roots)."""
+        return int(self.roots.size)
+
+    @property
+    def n_queries(self) -> int:
+        """Number of tickets resolved by this batch (≥ width)."""
+        return sum(len(ts) for ts in self.tickets)
+
+
+@dataclass
+class QueryBatcher:
+    """Coalescing queue that releases (N, B) batches by width or deadline."""
+
+    max_batch: int = 16
+    max_wait: float = 2e-3
+    #: Queries that shared an already-pending root's column.
+    coalesced: int = 0
+    #: semiring → (root → tickets), insertion-ordered per group.
+    _groups: dict[str, OrderedDict[int, list[Ticket]]] = field(
+        default_factory=dict, repr=False)
+    #: semiring → enqueue time of the group's oldest pending root.
+    _first: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Distinct pending roots (frontier columns if flushed now)."""
+        return sum(len(g) for g in self._groups.values())
+
+    @property
+    def pending_queries(self) -> int:
+        """Pending tickets, counting coalesced duplicates."""
+        return sum(len(ts) for g in self._groups.values()
+                   for ts in g.values())
+
+    # ------------------------------------------------------------------
+    def enqueue(self, ticket: Ticket, now: float) -> None:
+        """Add one pending ticket at timestamp ``now`` (coalescing)."""
+        semiring, root = ticket.query.batch_key
+        group = self._groups.setdefault(semiring, OrderedDict())
+        if root in group:
+            group[root].append(ticket)
+            self.coalesced += 1
+            return
+        if not group:
+            self._first[semiring] = now
+        group[root] = [ticket]
+
+    def next_deadline(self) -> float | None:
+        """Timestamp at which the oldest group becomes due (None = empty)."""
+        if not self._first:
+            return None
+        return min(self._first.values()) + self.max_wait
+
+    # ------------------------------------------------------------------
+    def ready(self, now: float) -> list[Batch]:
+        """Release every batch due at ``now`` (full-width first).
+
+        Width-triggered releases pop exactly ``max_batch`` roots (oldest
+        first); a busy group can release several full batches from one
+        call.  Deadline-triggered releases pop the whole remaining group.
+        """
+        out: list[Batch] = []
+        for semiring in list(self._groups):
+            while len(self._groups.get(semiring, ())) >= self.max_batch:
+                out.append(self._pop(semiring, self.max_batch, "width"))
+            group = self._groups.get(semiring)
+            # Same float expression as next_deadline(): polling exactly at
+            # the returned deadline is always due (a - b >= w can round
+            # differently than a >= b + w and strand the group forever).
+            if group and now >= self._first[semiring] + self.max_wait:
+                out.append(self._pop(semiring, len(group), "deadline"))
+        return out
+
+    def flush_all(self) -> list[Batch]:
+        """Release everything still pending (``reason="drain"``)."""
+        out = []
+        for semiring in list(self._groups):
+            while self._groups.get(semiring):
+                width = min(self.max_batch, len(self._groups[semiring]))
+                out.append(self._pop(semiring, width, "drain"))
+        return out
+
+    # ------------------------------------------------------------------
+    def _pop(self, semiring: str, width: int, reason: str) -> Batch:
+        group = self._groups[semiring]
+        first = self._first[semiring]
+        roots = np.empty(width, dtype=np.int64)
+        tickets: list[list[Ticket]] = []
+        for j in range(width):
+            root, ts = group.popitem(last=False)
+            roots[j] = root
+            tickets.append(ts)
+        if group:
+            # The remaining oldest root's first ticket restarts the clock.
+            self._first[semiring] = next(iter(group.values()))[0].submitted_at
+        else:
+            del self._groups[semiring]
+            del self._first[semiring]
+        return Batch(semiring=semiring, roots=roots, tickets=tickets,
+                     enqueued_at=first, reason=reason)

@@ -1,0 +1,113 @@
+"""Bounded LRU result cache for the serving layer.
+
+Zipfian root popularity — the regime the open-loop workload generator
+models — means a small set of hot roots dominates real traffic.  Those
+traversals are deterministic functions of ``(graph, semiring, root)``, so
+the server consults this cache *before* enqueueing a query: a hot root is
+answered without touching a kernel or occupying a frontier column.
+
+The key's graph component is a structural fingerprint
+(:func:`graph_fingerprint`) rather than object identity, so a server
+rebuilt over the same graph — or two servers over equal graphs — share
+semantics: equal structure, equal key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.bfs.result import BFSResult
+from repro.formats.sell import SellCSigma
+from repro.graphs.graph import Graph
+
+__all__ = ["CacheStats", "ResultCache", "graph_fingerprint"]
+
+
+def graph_fingerprint(graph_or_rep: Graph | SellCSigma) -> str:
+    """Stable structural digest of a graph (or a built representation).
+
+    BLAKE2b over the CSR arrays (``indptr``/``indices``) plus the vertex
+    count: equal graphs (same adjacency structure) produce equal
+    fingerprints across processes, unequal ones collide only with
+    cryptographic improbability.  A built representation fingerprints its
+    *original* graph, so the cache key is independent of C/σ build
+    parameters — the answers those builds produce are bit-identical.
+    """
+    graph = (graph_or_rep.graph_original
+             if isinstance(graph_or_rep, SellCSigma) else graph_or_rep)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(graph.n.to_bytes(8, "little"))
+    h.update(graph.indptr.tobytes())
+    h.update(graph.indices.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Stores refused because ``capacity == 0``.
+    rejected_puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get()`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Bounded LRU mapping ``(fingerprint, semiring, root)`` → BFSResult.
+
+    ``capacity`` bounds the entry count; 0 disables the cache entirely
+    (every ``get`` misses, every ``put`` is dropped) so "cache off" needs
+    no branching in the server.  ``get`` refreshes recency; inserting
+    beyond capacity evicts the least-recently-used entry.
+    """
+
+    capacity: int = 1024
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self):
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple[str, str, int]) -> BFSResult | None:
+        """The cached result for ``key``, refreshed as most-recent."""
+        res = self._entries.get(key)
+        if res is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return res
+
+    def put(self, key: tuple[str, str, int], result: BFSResult) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries past capacity."""
+        if self.capacity == 0:
+            self.stats.rejected_puts += 1
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = result
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved)."""
+        self._entries.clear()

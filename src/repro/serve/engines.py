@@ -1,0 +1,97 @@
+"""Pluggable engine selection for the serving layer.
+
+A released :class:`~repro.serve.batcher.Batch` can run on either batched
+engine, and which one wins depends on the batch width the traffic
+produced (``BENCH_mshybrid.json``): the direction-optimizing
+:class:`~repro.bfs.mshybrid.MultiSourceHybridBFS` dominates at narrow
+widths (6.3× over all-pull at B=1, best point around B=16), while the
+all-pull SpMM sweep of :class:`~repro.bfs.msbfs.MultiSourceBFS` keeps
+scaling past it at wide batches, where the shared pull sweep amortizes
+best.  :class:`EnginePool` encodes that policy as a width threshold
+(``hybrid_max_width``), keeps one engine instance per (semiring, kind) so
+repeated batches reuse the representation's memoized operands, and is the
+single seam to swap policies: pass ``strategy=`` any
+``(width) -> "msbfs" | "mshybrid"`` callable.
+
+Both engines are differential-tested bit-identical through
+``tests/engines.py``'s oracle, so the policy only moves *work*, never
+answers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bfs.msbfs import MultiSourceBFS
+from repro.bfs.mshybrid import MultiSourceHybridBFS
+from repro.formats.sell import SellCSigma
+
+__all__ = ["ENGINE_NAMES", "EnginePool", "default_strategy"]
+
+ENGINE_NAMES = ("msbfs", "mshybrid")
+
+#: Widths at or below this run the direction-optimizing engine by default.
+DEFAULT_HYBRID_MAX_WIDTH = 16
+
+
+def default_strategy(width: int, *,
+                     hybrid_max_width: int = DEFAULT_HYBRID_MAX_WIDTH) -> str:
+    """Width-threshold policy: hybrid for narrow batches, all-pull wide."""
+    return "mshybrid" if width <= hybrid_max_width else "msbfs"
+
+
+class EnginePool:
+    """Engine instances over one representation, selected per batch.
+
+    Parameters
+    ----------
+    rep:
+        The served, prebuilt representation (shared by every engine).
+    alpha:
+        Beamer push/pull threshold for the hybrid engine.
+    slimwork:
+        §III-C chunk skipping (both engines).
+    strategy:
+        ``(width) -> engine name``; defaults to :func:`default_strategy`
+        with ``hybrid_max_width``.
+    hybrid_max_width:
+        Threshold of the default strategy (ignored when ``strategy`` is
+        passed explicitly).
+    """
+
+    def __init__(self, rep: SellCSigma, *, alpha: float = 14.0,
+                 slimwork: bool = True,
+                 strategy: Callable[[int], str] | None = None,
+                 hybrid_max_width: int = DEFAULT_HYBRID_MAX_WIDTH):
+        self.rep = rep
+        self.alpha = float(alpha)
+        self.slimwork = bool(slimwork)
+        if strategy is None:
+            strategy = lambda width: default_strategy(  # noqa: E731
+                width, hybrid_max_width=hybrid_max_width)
+        self.strategy = strategy
+        self._engines: dict[tuple[str, str], object] = {}
+
+    def select(self, width: int) -> str:
+        """Engine name for a batch of ``width`` columns (validated)."""
+        name = self.strategy(width)
+        if name not in ENGINE_NAMES:
+            raise ValueError(f"strategy returned {name!r}; expected one of "
+                             f"{ENGINE_NAMES}")
+        return name
+
+    def engine_for(self, semiring: str, width: int):
+        """``(engine_name, engine)`` to run a batch of ``width`` columns."""
+        name = self.select(width)
+        key = (name, semiring)
+        engine = self._engines.get(key)
+        if engine is None:
+            if name == "mshybrid":
+                engine = MultiSourceHybridBFS(
+                    self.rep, semiring, alpha=self.alpha,
+                    slimwork=self.slimwork)
+            else:
+                engine = MultiSourceBFS(
+                    self.rep, semiring, slimwork=self.slimwork)
+            self._engines[key] = engine
+        return name, engine

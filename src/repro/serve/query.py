@@ -1,0 +1,128 @@
+"""Query and result types of the serving layer.
+
+A *query* is one user request that reduces to a single-root BFS over the
+served graph:
+
+* ``"distances"`` — the BFS itself: hop distances and a parent tree from
+  ``root`` (the :class:`~repro.bfs.result.BFSResult` is the answer);
+* ``"reachability"`` — connectivity membership: is ``target`` in
+  ``root``'s connected component?  (answer: ``bool``);
+* ``"validate"`` — Graph500-style service: run the BFS *and* the official
+  five-check tree validation (answer: ``True``, or the check raises).
+
+Every kind shares the same expensive sub-problem — a traversal from
+``root`` under ``semiring`` — which is exactly what the batcher coalesces
+and the cache memoizes: two queries of different kinds on the same
+``(semiring, root)`` share one frontier column and one cache entry, and
+only the cheap *reduction* (nothing / a distance lookup / the validator)
+differs per ticket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bfs.result import BFSResult
+
+__all__ = ["KINDS", "Query", "QueryResult", "Rejected", "Ticket"]
+
+#: Supported query kinds, in documentation order.
+KINDS = ("distances", "reachability", "validate")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One user request: a single-root question about the served graph."""
+
+    root: int
+    kind: str = "distances"
+    semiring: str = "sel-max"
+    #: ``"reachability"`` only: the vertex whose membership is asked.
+    target: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown query kind {self.kind!r}; "
+                             f"expected one of {KINDS}")
+        if self.kind == "reachability" and self.target is None:
+            raise ValueError("reachability queries need a target vertex")
+
+    @property
+    def batch_key(self) -> tuple[str, int]:
+        """The coalescing key: queries sharing it share one BFS column."""
+        return (self.semiring, self.root)
+
+
+@dataclass
+class QueryResult:
+    """The resolved answer to one query, with serving provenance."""
+
+    query: Query
+    #: ``"served"`` or ``"rejected"`` (backpressure).
+    status: str
+    #: Kind-specific answer: the :class:`BFSResult` (distances), a bool
+    #: (reachability / validate), or ``None`` for a rejection.
+    value: Any = None
+    #: The underlying traversal (also set for reduced kinds), ``None`` for
+    #: rejections.
+    bfs: BFSResult | None = None
+    #: Answered straight from the :class:`~repro.serve.cache.ResultCache`.
+    cache_hit: bool = False
+    #: Width of the SpMM batch that computed the answer (0 = cache hit or
+    #: rejection).
+    batch_width: int = 0
+    #: Engine that ran the batch (``"msbfs"`` / ``"mshybrid"`` / ``""``).
+    engine: str = ""
+    #: Submit-to-completion seconds (queue wait + kernel share).
+    latency_s: float = 0.0
+
+
+class Rejected(QueryResult):
+    """Explicit backpressure result: the pending queue was full.
+
+    A distinct type (``isinstance(result, Rejected)``) so clients can
+    branch on overload without string-matching ``status``.
+    """
+
+    def __init__(self, query: Query):
+        super().__init__(query=query, status="rejected")
+
+
+@dataclass
+class Ticket:
+    """Handle returned by ``submit()``; resolves to a :class:`QueryResult`.
+
+    A ticket is *done* once its batch ran (or it was answered from cache /
+    rejected on entry).  :meth:`result` is the blocking-free accessor: it
+    raises if the ticket is still pending — call ``Server.drain()`` (or
+    await the asyncio front-end) to force completion.
+    """
+
+    query: Query
+    #: Virtual/real submit timestamp (the server's clock domain).
+    submitted_at: float = 0.0
+    _result: QueryResult | None = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        """Whether a result is available."""
+        return self._result is not None
+
+    @property
+    def rejected(self) -> bool:
+        """Whether the ticket was refused on entry (backpressure)."""
+        return self._result is not None and self._result.status == "rejected"
+
+    def result(self) -> QueryResult:
+        """The resolved :class:`QueryResult`; raises while pending."""
+        if self._result is None:
+            raise RuntimeError(
+                f"query {self.query} is still pending; drain() the server "
+                "(or raise max_wait pressure) before reading results")
+        return self._result
+
+    def _resolve(self, result: QueryResult) -> None:
+        if self._result is not None:
+            raise RuntimeError(f"ticket for {self.query} resolved twice")
+        self._result = result

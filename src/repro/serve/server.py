@@ -1,0 +1,353 @@
+"""The serving driver: submit single-root queries, answer them in batches.
+
+:class:`Server` is the synchronous core.  ``submit()`` consults the
+:class:`~repro.serve.cache.ResultCache` (hot roots never touch a kernel),
+applies backpressure (a full pending queue resolves the ticket to an
+explicit :class:`~repro.serve.query.Rejected` result instead of growing
+without bound), and otherwise hands the ticket to the
+:class:`~repro.serve.batcher.QueryBatcher`.  Batches released by width or
+deadline run on the engine the :class:`~repro.serve.engines.EnginePool`
+picks for their width, and every resolved query is accounted in
+:class:`ServeStats` (latency percentiles, batch widths, kernel seconds).
+
+Time is explicit: every entry point takes ``now=`` (defaulting to the
+server's ``clock``), so workload generators can drive the server on a
+virtual arrival clock while kernel time stays measured.  The sync server
+is cooperatively scheduled — ``max_wait`` deadlines fire inside
+``submit()``/``poll()``/``drain()``; :class:`AsyncServer` adds real
+timers and per-query awaitable futures on top.
+
+Service is modeled FIFO: a batch dispatched while a previous batch is
+still "running" (in virtual time) starts after it, so open-loop latencies
+include queueing delay, not just batching delay.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.bfs.msbfs import build_rep
+from repro.bfs.result import BFSResult
+from repro.formats.sell import SellCSigma
+from repro.graphs.graph import Graph
+from repro.semirings.base import get_semiring
+from repro.serve.batcher import Batch, QueryBatcher
+from repro.serve.cache import ResultCache, graph_fingerprint
+from repro.serve.engines import DEFAULT_HYBRID_MAX_WIDTH, EnginePool
+from repro.serve.query import Query, QueryResult, Rejected, Ticket
+
+__all__ = ["AsyncServer", "ServeStats", "Server"]
+
+
+@dataclass
+class ServeStats:
+    """Serving-side accounting: counts, widths, kernel time, latencies."""
+
+    submitted: int = 0
+    served: int = 0
+    rejected: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    #: Total kernel wall-clock seconds across dispatched batches.
+    kernel_s: float = 0.0
+    #: Width of every dispatched batch, in dispatch order.
+    widths: list[int] = field(default_factory=list)
+    #: Release-reason histogram (``width`` / ``deadline`` / ``drain``).
+    reasons: dict[str, int] = field(default_factory=dict)
+    #: Per-served-query latency (submit → completion), seconds.
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def mean_batch_width(self) -> float:
+        """Average frontier columns per dispatched batch."""
+        return float(np.mean(self.widths)) if self.widths else 0.0
+
+    @property
+    def kernel_throughput(self) -> float:
+        """Kernel-resolved queries per kernel second (excludes cache hits)."""
+        kernel_served = self.served - self.cache_hits
+        return kernel_served / self.kernel_s if self.kernel_s > 0 else 0.0
+
+    def latency_percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0–100) of served-query latencies."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), p))
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot (JSON-friendly; used by benches/CLI)."""
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "rejected": self.rejected,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+            "mean_batch_width": self.mean_batch_width,
+            "reasons": dict(self.reasons),
+            "kernel_s": self.kernel_s,
+            "kernel_throughput_qps": self.kernel_throughput,
+            "latency_p50_s": self.latency_percentile(50),
+            "latency_p95_s": self.latency_percentile(95),
+            "latency_p99_s": self.latency_percentile(99),
+        }
+
+
+class Server:
+    """Adaptive micro-batching query server over one graph.
+
+    Parameters
+    ----------
+    graph_or_rep:
+        The served graph, or a prebuilt :class:`SellCSigma`/``SlimSell``.
+    C / sigma:
+        Build parameters when a raw graph is passed (SlimSell, C=16).
+    max_batch:
+        Frontier columns per dispatched batch (width release trigger).
+    max_wait:
+        Seconds a pending query may wait for its batch to fill before the
+        deadline releases it (0 = dispatch on every submit: B degenerates
+        to the coalesced arrivals of a single timestamp).
+    cache_size:
+        :class:`ResultCache` capacity in entries (0 disables caching).
+    max_pending:
+        Pending-query bound; a submit beyond it is rejected.  ``None``
+        (default) = unbounded.
+    alpha / slimwork / strategy / hybrid_max_width:
+        Engine-selection knobs, see :class:`EnginePool`.
+    clock:
+        The time source for defaulted ``now`` values
+        (``time.perf_counter``); injectable for deterministic tests.
+    """
+
+    def __init__(self, graph_or_rep: Graph | SellCSigma, *, C: int = 16,
+                 sigma: int | None = None, max_batch: int = 16,
+                 max_wait: float = 2e-3, cache_size: int = 1024,
+                 max_pending: int | None = None, alpha: float = 14.0,
+                 slimwork: bool = True,
+                 strategy: Callable[[int], str] | None = None,
+                 hybrid_max_width: int = DEFAULT_HYBRID_MAX_WIDTH,
+                 clock: Callable[[], float] = time.perf_counter):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1 or None, got {max_pending}")
+        self.rep = build_rep(graph_or_rep, C, sigma, slim=True)
+        self.graph = self.rep.graph_original
+        self.fingerprint = graph_fingerprint(self.rep)
+        self.batcher = QueryBatcher(max_batch=max_batch, max_wait=max_wait)
+        self.cache = ResultCache(capacity=cache_size)
+        self.pool = EnginePool(self.rep, alpha=alpha, slimwork=slimwork,
+                               strategy=strategy,
+                               hybrid_max_width=hybrid_max_width)
+        self.max_pending = max_pending
+        self.clock = clock
+        self.stats = ServeStats()
+        #: Virtual completion time of the last dispatched batch (FIFO).
+        self._busy_until = float("-inf")
+
+    # ------------------------------------------------------------------
+    @property
+    def max_batch(self) -> int:
+        """Width release trigger (delegated to the batcher)."""
+        return self.batcher.max_batch
+
+    @property
+    def max_wait(self) -> float:
+        """Deadline release trigger in seconds (delegated to the batcher)."""
+        return self.batcher.max_wait
+
+    @property
+    def busy_until(self) -> float:
+        """Virtual completion time of the last dispatched batch.
+
+        ``-inf`` before the first dispatch; workload drivers read this to
+        advance their clocks past the modeled FIFO service.
+        """
+        return self._busy_until
+
+    # ------------------------------------------------------------------
+    def submit(self, root: int, *, kind: str = "distances",
+               semiring: str = "sel-max", target: int | None = None,
+               now: float | None = None) -> Ticket:
+        """Submit one query; returns its :class:`Ticket`.
+
+        Resolution order: cache hit (immediate), backpressure rejection
+        (immediate, explicit :class:`Rejected` result), else enqueue —
+        the ticket resolves when its batch dispatches (possibly within
+        this very call, if it fills a batch or a deadline is due).
+
+        Invalid input — unknown kind/semiring, out-of-range root or
+        target — raises :class:`ValueError` (a client error, not
+        backpressure).
+        """
+        query = Query(root=int(root), kind=kind, semiring=semiring,
+                      target=None if target is None else int(target))
+        get_semiring(semiring)  # unknown semiring: raise here, not at flush
+        n = self.rep.n
+        if not 0 <= query.root < n:
+            raise ValueError(f"root {query.root} out of range [0, {n})")
+        if query.target is not None and not 0 <= query.target < n:
+            raise ValueError(f"target {query.target} out of range [0, {n})")
+        if now is None:
+            now = self.clock()
+        self.stats.submitted += 1
+        ticket = Ticket(query=query, submitted_at=now)
+
+        cached = self.cache.get((self.fingerprint, semiring, query.root))
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self.stats.served += 1
+            self.stats.latencies.append(0.0)
+            ticket._resolve(QueryResult(
+                query=query, status="served", value=self._reduce(query, cached),
+                bfs=cached, cache_hit=True))
+            return ticket
+
+        if (self.max_pending is not None
+                and self.batcher.pending_queries >= self.max_pending):
+            self.stats.rejected += 1
+            ticket._resolve(Rejected(query))
+            return ticket
+
+        self.batcher.enqueue(ticket, now)
+        self._pump(now)
+        return ticket
+
+    def poll(self, now: float | None = None) -> None:
+        """Dispatch any deadline-due batches without submitting."""
+        self._pump(self.clock() if now is None else now)
+
+    def drain(self, now: float | None = None) -> list[QueryResult]:
+        """Dispatch everything still pending; returns the drained results.
+
+        Pending queries are released in (at most) ``max_batch``-wide
+        groups, so a drain keeps the batching benefit; results come back
+        in completion order.
+        """
+        now = self.clock() if now is None else now
+        out: list[QueryResult] = []
+        for batch in self.batcher.flush_all():
+            out.extend(self._run_batch(batch, now))
+        return out
+
+    # ------------------------------------------------------------------
+    def _pump(self, now: float) -> None:
+        for batch in self.batcher.ready(now):
+            self._run_batch(batch, now)
+
+    def _run_batch(self, batch: Batch, now: float) -> list[QueryResult]:
+        name, engine = self.pool.engine_for(batch.semiring, batch.width)
+        t0 = time.perf_counter()
+        results = engine.run(batch.roots)
+        kernel = time.perf_counter() - t0
+        start = max(now, self._busy_until)
+        completion = start + kernel
+        self._busy_until = completion
+        st = self.stats
+        st.batches += 1
+        st.kernel_s += kernel
+        st.widths.append(batch.width)
+        st.reasons[batch.reason] = st.reasons.get(batch.reason, 0) + 1
+        out: list[QueryResult] = []
+        for j, res in enumerate(results):
+            self.cache.put(
+                (self.fingerprint, batch.semiring, int(batch.roots[j])), res)
+            for ticket in batch.tickets[j]:
+                qr = QueryResult(
+                    query=ticket.query, status="served",
+                    value=self._reduce(ticket.query, res), bfs=res,
+                    batch_width=batch.width, engine=name,
+                    latency_s=completion - ticket.submitted_at)
+                ticket._resolve(qr)
+                st.served += 1
+                st.latencies.append(qr.latency_s)
+                out.append(qr)
+        return out
+
+    def _reduce(self, query: Query, res: BFSResult):
+        """Kind-specific reduction of the shared traversal."""
+        if query.kind == "reachability":
+            return bool(np.isfinite(res.dist[query.target]))
+        if query.kind == "validate":
+            from repro.graph500 import validate_bfs_tree
+
+            validate_bfs_tree(self.graph, res)
+            return True
+        return res  # "distances": the traversal is the answer
+
+
+class AsyncServer:
+    """asyncio front-end: per-query awaitable futures over a :class:`Server`.
+
+    ``await async_submit(...)`` resolves when the query's batch runs —
+    which a width trigger may do inline, a ``max_wait`` timer (a real
+    asyncio timer armed at the batcher's next deadline) does for partial
+    batches, and :meth:`drain` forces.  The wrapped server must use the
+    default real-time clock (virtual ``now`` values would disagree with
+    the event loop's timers).
+    """
+
+    def __init__(self, server: Server):
+        self.server = server
+        self._waiters: list = []  # (Ticket, asyncio.Future) pairs
+        self._timer = None
+
+    async def async_submit(self, root: int, *, kind: str = "distances",
+                           semiring: str = "sel-max",
+                           target: int | None = None) -> QueryResult:
+        """Submit one query and await its :class:`QueryResult`."""
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        ticket = self.server.submit(root, kind=kind, semiring=semiring,
+                                    target=target)
+        self._settle()
+        if ticket.done:
+            return ticket.result()
+        future = loop.create_future()
+        self._waiters.append((ticket, future))
+        self._arm_timer(loop)
+        return await future
+
+    async def drain(self) -> list[QueryResult]:
+        """Force-dispatch everything pending and settle all futures."""
+        out = self.server.drain()
+        self._settle()
+        return out
+
+    @property
+    def pending(self) -> int:
+        """Futures still awaiting a batch."""
+        return len(self._waiters)
+
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        still = []
+        for ticket, future in self._waiters:
+            if ticket.done:
+                if not future.cancelled():
+                    future.set_result(ticket.result())
+            else:
+                still.append((ticket, future))
+        self._waiters = still
+        if not self._waiters and self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _arm_timer(self, loop) -> None:
+        deadline = self.server.batcher.next_deadline()
+        if deadline is None or (self._timer is not None
+                                and not self._timer.cancelled()):
+            return
+        delay = max(0.0, deadline - self.server.clock())
+        self._timer = loop.call_later(delay, self._fire, loop)
+
+    def _fire(self, loop) -> None:
+        self._timer = None
+        self.server.poll()
+        self._settle()
+        if self._waiters:
+            self._arm_timer(loop)

@@ -1,0 +1,191 @@
+"""Workload generators for the serving layer: make the benefit measurable.
+
+Two classic load models drive a :class:`~repro.serve.server.Server` on a
+**virtual arrival clock** (kernel time stays real, measured):
+
+* **Open loop** (:func:`run_open_loop`) — queries arrive by a Poisson
+  process at ``rate`` queries/second regardless of completions (the
+  "millions of independent users" regime): root popularity is Zipfian
+  (:func:`sample_zipf_roots`), arrival gaps are exponential
+  (:func:`poisson_arrivals`), and the driver fires the server's
+  ``max_wait`` deadlines between arrivals exactly when they fall due, so
+  the adaptive batcher sees the same interleaving a real event loop
+  would.  Latencies include queueing delay (FIFO service model).
+* **Closed loop** (:func:`run_closed_loop`) — ``clients`` users each keep
+  exactly one query outstanding and resubmit on completion: the classic
+  saturation benchmark, and the upper bound of what batching can harvest
+  (every round offers ``clients`` concurrent roots).
+
+Both return a JSON-friendly report with throughput (kernel and
+virtual-wall), latency percentiles, batch-width and cache statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.server import Server
+
+__all__ = [
+    "poisson_arrivals",
+    "run_closed_loop",
+    "run_open_loop",
+    "sample_zipf_roots",
+    "zipf_weights",
+]
+
+
+def zipf_weights(k: int, s: float) -> np.ndarray:
+    """Normalized Zipf popularity over ``k`` ranks: p(r) ∝ 1/(r+1)^s.
+
+    ``s = 0`` is uniform; larger ``s`` concentrates mass on few ranks.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if s < 0:
+        raise ValueError(f"s must be >= 0, got {s}")
+    w = 1.0 / np.power(np.arange(1, k + 1, dtype=np.float64), s)
+    return w / w.sum()
+
+
+def sample_zipf_roots(candidates: np.ndarray, nqueries: int, s: float,
+                      seed: int = 1) -> np.ndarray:
+    """Draw ``nqueries`` roots with Zipfian popularity over ``candidates``.
+
+    Popularity ranks are assigned to candidates in a seeded shuffle (the
+    hottest root is a random candidate, not vertex 0), then queries sample
+    from that fixed popularity law — with replacement, since independent
+    users repeat hot roots; that repetition is precisely what duplicate
+    coalescing and the result cache exploit.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.size == 0:
+        raise ValueError("no candidate roots to sample from")
+    if nqueries < 1:
+        raise ValueError(f"nqueries must be >= 1, got {nqueries}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(candidates)
+    return rng.choice(order, size=nqueries, replace=True,
+                      p=zipf_weights(candidates.size, s))
+
+
+def poisson_arrivals(nqueries: int, rate: float, seed: int = 1) -> np.ndarray:
+    """Arrival timestamps of a Poisson process at ``rate`` queries/second.
+
+    ``rate = inf`` puts every arrival at t=0 (the all-at-once burst).
+    """
+    if nqueries < 1:
+        raise ValueError(f"nqueries must be >= 1, got {nqueries}")
+    if not rate > 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if np.isinf(rate):
+        return np.zeros(nqueries)
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate, size=nqueries))
+
+
+def run_open_loop(server: Server, roots: np.ndarray, arrivals: np.ndarray,
+                  *, kind: str = "distances",
+                  semiring: str = "sel-max") -> dict:
+    """Drive ``server`` with ``roots[i]`` arriving at ``arrivals[i]``.
+
+    Arrivals must be non-decreasing.  Between consecutive arrivals the
+    driver fires every batcher deadline at its due time, reproducing the
+    event order of a real timer loop on the virtual clock.  All pending
+    work is drained at the end (the stream is over; nothing more to wait
+    for).
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    if roots.shape != arrivals.shape or roots.ndim != 1 or roots.size == 0:
+        raise ValueError("roots and arrivals must be equal-length 1-D "
+                         "non-empty sequences")
+    if np.any(np.diff(arrivals) < 0):
+        raise ValueError("arrivals must be non-decreasing")
+    before = _snapshot(server)
+    tickets = []
+    for root, t in zip(roots, arrivals):
+        deadline = server.batcher.next_deadline()
+        while deadline is not None and deadline <= t:
+            server.poll(now=deadline)
+            deadline = server.batcher.next_deadline()
+        tickets.append(server.submit(int(root), kind=kind,
+                                     semiring=semiring, now=float(t)))
+    end = float(arrivals[-1])
+    deadline = server.batcher.next_deadline()
+    while deadline is not None:
+        server.poll(now=deadline)
+        end = max(end, deadline)
+        deadline = server.batcher.next_deadline()
+    server.drain(now=end)
+    makespan = max(server.busy_until, end) - float(arrivals[0])
+    return _report(server, before, tickets, makespan)
+
+
+def run_closed_loop(server: Server, roots: np.ndarray, *,
+                    clients: int | None = None, kind: str = "distances",
+                    semiring: str = "sel-max") -> dict:
+    """Drive ``server`` with ``clients`` users of one outstanding query each.
+
+    Round-robin: each round, every client submits its next root from
+    ``roots`` at the current virtual time, then blocks until the round's
+    results are drained; the clock advances to the round's completion.
+    ``clients`` defaults to the server's ``max_batch`` (saturation).
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    if roots.ndim != 1 or roots.size == 0:
+        raise ValueError("roots must be a non-empty 1-D sequence")
+    if clients is None:
+        clients = server.max_batch
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    before = _snapshot(server)
+    tickets = []
+    now = 0.0
+    for i in range(0, roots.size, clients):
+        for root in roots[i:i + clients]:
+            tickets.append(server.submit(int(root), kind=kind,
+                                         semiring=semiring, now=now))
+        server.drain(now=now)
+        now = max(now, server.busy_until)
+    return _report(server, before, tickets, makespan=now)
+
+
+# ----------------------------------------------------------------------
+def _snapshot(server: Server) -> dict:
+    """Counters before a run, so a shared server reports per-run deltas."""
+    st, cs = server.stats, server.cache.stats
+    return {"served": st.served, "cache_hits": st.cache_hits,
+            "rejected": st.rejected, "kernel_s": st.kernel_s,
+            "batches": st.batches, "nlat": len(st.latencies),
+            "nwidths": len(st.widths), "coalesced": server.batcher.coalesced,
+            "lookups": cs.lookups}
+
+
+def _report(server: Server, before: dict, tickets: list,
+            makespan: float) -> dict:
+    st = server.stats
+    lat = np.asarray(st.latencies[before["nlat"]:], dtype=np.float64)
+    widths = st.widths[before["nwidths"]:]
+    served = st.served - before["served"]
+    kernel_s = st.kernel_s - before["kernel_s"]
+    kernel_served = served - (st.cache_hits - before["cache_hits"])
+    makespan = float(max(makespan, 0.0))
+    return {
+        "nqueries": len(tickets),
+        "served": served,
+        "rejected": st.rejected - before["rejected"],
+        "cache_hits": st.cache_hits - before["cache_hits"],
+        "coalesced": server.batcher.coalesced - before["coalesced"],
+        "batches": st.batches - before["batches"],
+        "mean_batch_width": float(np.mean(widths)) if widths else 0.0,
+        "kernel_s": kernel_s,
+        "kernel_throughput_qps": (kernel_served / kernel_s
+                                  if kernel_s > 0 else 0.0),
+        "virtual_makespan_s": makespan,
+        "virtual_throughput_qps": served / makespan if makespan > 0 else 0.0,
+        "latency_p50_s": float(np.percentile(lat, 50)) if lat.size else 0.0,
+        "latency_p95_s": float(np.percentile(lat, 95)) if lat.size else 0.0,
+        "latency_p99_s": float(np.percentile(lat, 99)) if lat.size else 0.0,
+        "latency_mean_s": float(lat.mean()) if lat.size else 0.0,
+    }

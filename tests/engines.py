@@ -2,8 +2,9 @@
 
 The repository has grown a zoo of BFS engines — traditional queue BFS,
 Beamer direction optimization, SpMSpV, the chunked SpMV chunk/layer
-engines, the single-source push/pull hybrid, and the batched all-pull and
-direction-optimizing SpMM engines.  Instead of each test file hand-rolling
+engines, the single-source push/pull hybrid, the batched all-pull and
+direction-optimizing SpMM engines, and the serving layer that answers
+single-root queries through them.  Instead of each test file hand-rolling
 its own pairwise comparisons, this module provides:
 
 * :func:`all_bfs_engines` — a registry mapping engine names to uniform
@@ -103,8 +104,32 @@ def all_bfs_engines(semiring: str = "tropical", *, slimwork: bool = True,
                        rep, semiring, alpha=alpha,
                        slimwork=slimwork).run(roots),
                    SEMIRINGS, algebraic_parents),
+        EngineSpec("serve",
+                   lambda g, rep, roots: _serve_run(
+                       rep, semiring, roots, alpha=alpha, slimwork=slimwork),
+                   SEMIRINGS, algebraic_parents),
     ]
     return {s.name: s for s in specs}
+
+
+def _serve_run(rep, semiring: str, roots: np.ndarray, *, alpha: float,
+               slimwork: bool) -> list[BFSResult]:
+    """Answer ``roots`` through the serving layer, one query per root.
+
+    Deliberately adversarial configuration for an equivalence check: a
+    small ``max_batch`` forces several width-triggered dispatches plus a
+    partial drain, the cache stays on so repeated roots exercise the hit
+    path, and duplicate roots within one pending window coalesce — the
+    oracle then proves none of that machinery changes a single bit.
+    """
+    from repro.serve.server import Server
+
+    server = Server(rep, max_batch=4, max_wait=60.0, cache_size=64,
+                    alpha=alpha, slimwork=slimwork)
+    tickets = [server.submit(int(r), semiring=semiring, now=0.0)
+               for r in roots]
+    server.drain(now=0.0)
+    return [t.result().bfs for t in tickets]
 
 
 def assert_bfs_equivalent(

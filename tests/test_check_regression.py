@@ -150,6 +150,42 @@ class TestGate:
         assert gate.check(tmp_path, 0.25, 1.0, repeats=1) == 0
 
 
+class TestOnlySelection:
+    def test_only_restricts_benches(self, gate, tmp_path):
+        # Two stub benches, one of them failing; --only the healthy one
+        # must pass, --only the broken one (or no selection) must fail.
+        good = {"speedup": 4.0, "bytes": 1000}
+        bad = {"speedup": 1.0, "bytes": 1000}
+        run_good, extract = make_bench(gate, good)
+        run_bad, _ = make_bench(gate, bad)
+        gate.BENCHES = {
+            "good": ("BENCH_good.json", run_good, extract, False),
+            "bad": ("BENCH_bad.json", run_bad, extract, False),
+        }
+        for name in ("good", "bad"):
+            doc = {"workload": {}, "quick_baseline": dict(good)}
+            (tmp_path / f"BENCH_{name}.json").write_text(json.dumps(doc))
+        assert gate.check(tmp_path, 0.25, 1.0, repeats=1, only=["good"]) == 0
+        assert gate.check(tmp_path, 0.25, 1.0, repeats=1, only=["bad"]) == 1
+        assert gate.check(tmp_path, 0.25, 1.0, repeats=1) == 1
+
+    def test_only_restricts_update(self, gate, tmp_path):
+        payload = {"speedup": 4.0, "bytes": 1000}
+        run, extract = make_bench(gate, payload)
+        gate.BENCHES = {
+            "a": ("BENCH_a.json", run, extract, True),
+            "b": ("BENCH_b.json", run, extract, True),
+        }
+        for name in ("a", "b"):
+            (tmp_path / f"BENCH_{name}.json").write_text(
+                json.dumps({"workload": {}}))
+        assert gate.update_baselines(tmp_path, repeats=1, only=["a"]) == 0
+        assert "quick_baseline" in json.loads(
+            (tmp_path / "BENCH_a.json").read_text())
+        assert "quick_baseline" not in json.loads(
+            (tmp_path / "BENCH_b.json").read_text())
+
+
 class TestBestPoints:
     def test_envelope_takes_best_per_direction(self, gate):
         seq = iter([3.0, 5.0, 4.0])

@@ -177,6 +177,55 @@ class TestCommands:
         with pytest.raises(SystemExit, match="overlap"):
             main(["dist", "kronecker:8,4", "--overlap", "1.5"])
 
+    def test_serve_open_loop(self, capsys):
+        assert main(["serve", "kronecker:8,4", "--queries", "48",
+                     "--max-batch", "8", "--max-wait", "0.001",
+                     "--arrival-rate", "5000", "--zipf", "1.1",
+                     "--root-pool", "16", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "open-loop" in out and "served 48" in out
+        assert "throughput:" in out and "latency: p50" in out
+        assert "dispatch reason" in out
+
+    def test_serve_burst_and_cache(self, capsys):
+        assert main(["serve", "kronecker:8,4", "--queries", "64",
+                     "--arrival-rate", "inf", "--cache", "32",
+                     "--root-pool", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "rate=inf" in out and "hit rate" in out
+
+    def test_serve_closed_loop(self, capsys):
+        assert main(["serve", "kronecker:8,4", "--closed-loop",
+                     "--queries", "32", "--clients", "8",
+                     "--cache", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop (8 clients)" in out
+
+    def test_serve_backpressure_reports_rejections(self, capsys):
+        assert main(["serve", "kronecker:8,4", "--queries", "64",
+                     "--arrival-rate", "inf", "--max-pending", "4",
+                     "--max-batch", "64", "--cache", "0",
+                     "--root-pool", "32", "--zipf", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "max_pending=4" in out
+
+    def test_serve_argument_validation(self):
+        with pytest.raises(SystemExit, match="queries"):
+            main(["serve", "kronecker:7,4", "--queries", "0"])
+        with pytest.raises(SystemExit, match="max-batch"):
+            main(["serve", "kronecker:7,4", "--max-batch", "0"])
+        with pytest.raises(SystemExit, match="arrival-rate"):
+            main(["serve", "kronecker:7,4", "--arrival-rate", "fast"])
+        with pytest.raises(SystemExit, match="arrival-rate"):
+            main(["serve", "kronecker:7,4", "--arrival-rate", "-5"])
+        with pytest.raises(SystemExit, match="zipf"):
+            main(["serve", "kronecker:7,4", "--zipf", "-1"])
+        with pytest.raises(SystemExit, match="root-pool"):
+            main(["serve", "kronecker:7,4", "--root-pool", "0"])
+        with pytest.raises(SystemExit, match="clients"):
+            main(["serve", "kronecker:7,4", "--closed-loop",
+                  "--clients", "0"])
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -145,6 +145,57 @@ class TestPartitionValidation:
             p.work_per_rank(np.ones(5, dtype=np.int64))
 
 
+class TestWeightedBalanced:
+    """Heterogeneous ranks: ``Partition1D.balanced(weights=...)``."""
+
+    CLS = (
+        np.array([5, 0, 3, 7, 1, 2, 9, 4], dtype=np.int64),
+        np.arange(1, 40, dtype=np.int64),
+        np.ones(16, dtype=np.int64),
+        np.array([1000, 1, 1, 1, 1, 1], dtype=np.int64),
+    )
+
+    def test_uniform_weights_reproduce_unweighted_splits(self):
+        # The heterogeneity hook must be a strict generalization: any
+        # uniform weight vector yields the unweighted owner array
+        # bit-for-bit, for every workload shape and rank count.
+        for cl in self.CLS:
+            for ranks in (1, 2, 3, 5, 8):
+                base = Partition1D.balanced(cl, ranks)
+                for w in (1.0, 3.0, 0.25):
+                    p = Partition1D.balanced(
+                        cl, ranks, weights=np.full(ranks, w))
+                    np.testing.assert_array_equal(p.owner, base.owner)
+
+    def test_fast_rank_carries_proportional_work(self):
+        cl = np.ones(400, dtype=np.int64)
+        p = Partition1D.balanced(cl, 3, weights=np.array([2.0, 1.0, 1.0]))
+        work = p.work_per_rank(cl)
+        # Rank 0 is twice as fast: ~half the work; others ~a quarter each.
+        assert abs(work[0] - 200) <= 2
+        assert abs(work[1] - 100) <= 2 and abs(work[2] - 100) <= 2
+
+    def test_weighted_bands_stay_contiguous_and_total(self):
+        cl = np.array([5, 0, 3, 7, 1, 2, 9, 4], dtype=np.int64)
+        p = Partition1D.balanced(cl, 3, weights=np.array([1.0, 4.0, 2.0]))
+        assert p.work_per_rank(cl).sum() == cl.sum()
+        assert np.all(np.diff(p.owner) >= 0)  # contiguous bands
+
+    def test_weight_validation(self):
+        cl = np.ones(8, dtype=np.int64)
+        with pytest.raises(ValueError, match="one entry per rank"):
+            Partition1D.balanced(cl, 3, weights=np.ones(2))
+        with pytest.raises(ValueError, match="positive"):
+            Partition1D.balanced(cl, 2, weights=np.array([1.0, 0.0]))
+        with pytest.raises(ValueError, match="positive"):
+            Partition1D.balanced(cl, 2, weights=np.array([1.0, np.inf]))
+
+    def test_zero_work_ignores_weights(self):
+        p = Partition1D.balanced(np.zeros(6, dtype=np.int64), 3,
+                                 weights=np.array([5.0, 1.0, 1.0]))
+        assert p.ranks == 3 and p.nchunks == 6  # blocks fallback
+
+
 class TestColumnSplit:
     """The 2D per-block chunk lengths partition the local work sensibly."""
 

@@ -10,6 +10,7 @@ from repro.graph500 import (
     Graph500Run,
     ValidationError,
     run_graph500,
+    sample_roots,
     validate_bfs_tree,
 )
 from repro.graphs.kronecker import kronecker
@@ -112,6 +113,48 @@ class TestKernel:
         assert rpt.harmonic_mean_teps == 0.0
         assert rpt.min_teps == 0.0
         assert rpt.median_time_s == 0.0
+
+
+class TestSampleRoots:
+    """The documented root-sampling guarantees the batched engines and the
+    serving batcher rely on."""
+
+    def test_roots_are_distinct(self):
+        g = kronecker(9, 4, seed=3)
+        roots = sample_roots(g, 64, seed=3)
+        assert np.unique(roots).size == roots.size
+
+    def test_no_isolated_roots(self):
+        g = kronecker(8, 2, seed=1)  # sparse: isolated vertices exist
+        assert (g.degrees == 0).any()
+        roots = sample_roots(g, 50, seed=1)
+        assert (g.degrees[roots] > 0).all()
+
+    def test_oversubscription_returns_every_candidate(self):
+        g = star_graph(8)  # 8 non-isolated vertices
+        roots = sample_roots(g, 1000, seed=1)
+        assert roots.size == 8
+        np.testing.assert_array_equal(np.sort(roots), np.arange(8))
+
+    def test_deterministic_in_seed(self):
+        g = kronecker(9, 4, seed=3)
+        np.testing.assert_array_equal(sample_roots(g, 16, seed=5),
+                                      sample_roots(g, 16, seed=5))
+        assert not np.array_equal(sample_roots(g, 16, seed=5),
+                                  sample_roots(g, 16, seed=6))
+
+    def test_nroots_below_one_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError, match="nroots"):
+            sample_roots(g, 0)
+        with pytest.raises(ValueError, match="nroots"):
+            sample_roots(g, -3)
+
+    def test_edgeless_graph_rejected(self):
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(ValueError, match="no edges"):
+            sample_roots(Graph.empty(5), 1)
 
 
 class TestBatchedKernel:
