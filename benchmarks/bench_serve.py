@@ -13,6 +13,12 @@ in latency.
 Every configuration's served answers are verified bit-identical to
 direct batched-engine calls before its numbers are trusted.
 
+A second, seed-deterministic ablation sweeps Zipf skew under burst
+arrivals (cache on) and records MSHR reuse: ``reuse_rate`` and
+``columns_per_query`` per skew, with a hard failure if a duplicate of an
+outstanding root ever spawns an extra kernel column.  Those ratios are
+pinned exactly by the ``check_regression.py`` gate.
+
 Standalone script (not a pytest bench): results go to an ASCII table on
 stdout and a JSON file (default ``BENCH_serve.json``) that CI uploads as
 the perf-trajectory artifact and the bench-gate reads.
@@ -55,6 +61,7 @@ QUICK = {
     "zipf": 1.1,
     "max_batches": [1, 8, 32],
     "rates": [2000.0, float("inf")],
+    "zipfs": [0.6, 1.1, 1.5],
 }
 
 #: Deadline used by every batched configuration (per-query B=1 ignores it).
@@ -79,9 +86,52 @@ def _verify_identical(rep, max_batch: int, roots: np.ndarray) -> bool:
         for t, d in zip(tickets, direct))
 
 
+def run_zipf_ablation(rep, pool: np.ndarray, nqueries: int,
+                      zipfs: list[float], max_batch: int,
+                      seed: int = 1) -> dict:
+    """MSHR reuse across Zipf skews, under the all-at-once burst.
+
+    Every query arrives at t=0, so each repeat of a root lands while the
+    root's first traversal is still pending or (virtually) in flight and
+    the MSHR must absorb it.  The invariant gated here is the headline
+    bugfix: ``kernel_columns == distinct_roots`` — a duplicate of an
+    outstanding root never spawns another frontier column.  Reuse is
+    decided by the virtual clock, not wall time, so ``reuse_rate`` and
+    ``columns_per_query`` are seed-deterministic and
+    ``check_regression.py`` pins them exactly (p99 stays timing-only).
+    """
+    rows = []
+    for s in zipfs:
+        roots = sample_zipf_roots(pool, nqueries, s, seed=seed)
+        server = Server(rep, max_batch=max_batch, max_wait=MAX_WAIT_S,
+                        cache_size=int(pool.size))
+        report = run_open_loop(server, roots, np.zeros(nqueries))
+        distinct = int(np.unique(roots).size)
+        columns = int(sum(server.stats.widths))
+        served = report["served"]
+        reused = report["mshr_hits"] + report["cache_hits"]
+        rows.append({
+            "zipf": float(s),
+            "distinct_roots": distinct,
+            "kernel_columns": columns,
+            "columns_per_query": columns / served,
+            "mshr_hits": report["mshr_hits"],
+            "cache_hits": report["cache_hits"],
+            "reuse_rate": reused / served,
+            "kernel_p99_ms": report["latency_p99_s"] * 1e3,
+        })
+    return {
+        "max_batch": max_batch,
+        "nqueries": nqueries,
+        "rows": rows,
+        "zero_extra_columns": all(
+            r["kernel_columns"] == r["distinct_roots"] for r in rows),
+    }
+
+
 def run_sweep(scale: int, edgefactor: float, nqueries: int, root_pool: int,
               zipf: float, max_batches: list[int], rates: list[float],
-              seed: int = 1) -> dict:
+              zipfs: list[float], seed: int = 1) -> dict:
     graph = kronecker(scale, edgefactor, seed=seed)
     t0 = time.perf_counter()
     rep = SlimSell(graph, 16, graph.n)
@@ -120,7 +170,7 @@ def run_sweep(scale: int, edgefactor: float, nqueries: int, root_pool: int,
                                          / base_qps),
                 "batches": report["batches"],
                 "mean_width": report["mean_batch_width"],
-                "coalesced": report["coalesced"],
+                "mshr_hits": report["mshr_hits"],
                 "latency_p50_ms": report["latency_p50_s"] * 1e3,
                 "latency_p95_ms": report["latency_p95_s"] * 1e3,
                 "latency_p99_ms": report["latency_p99_s"] * 1e3,
@@ -137,10 +187,17 @@ def run_sweep(scale: int, edgefactor: float, nqueries: int, root_pool: int,
         "B": wide,
         "cache_size": root_pool,
         "hit_rate": server.cache.stats.hit_rate,
+        # Under the burst every repeat lands while its root is still
+        # outstanding, so reuse shows up as MSHR hits, not cache hits
+        # (results only become cache-visible at virtual completion).
+        "mshr_hits": cached["mshr_hits"],
         "kernel_s": cached["kernel_s"],
         "kernel_qps": cached["kernel_throughput_qps"],
         "virtual_qps": cached["virtual_throughput_qps"],
     }
+
+    mshr_zipf = run_zipf_ablation(rep, pool, nqueries, zipfs, wide,
+                                  seed=seed)
 
     best = max(grid, key=lambda r: r["speedup_vs_per_query"])
     return {
@@ -153,6 +210,7 @@ def run_sweep(scale: int, edgefactor: float, nqueries: int, root_pool: int,
         },
         "grid": grid,
         "cache_reference": cache_row,
+        "mshr_zipf": mshr_zipf,
         "best_speedup_vs_per_query": best["speedup_vs_per_query"],
         "best_point": {"rate": best["rate"], "B": best["B"]},
         "identical_to_direct": bool(identical_all),
@@ -176,7 +234,18 @@ def print_report(payload: dict) -> None:
         rows)
     c = payload["cache_reference"]
     print(f"\ncache-on reference (B={c['B']}, {c['cache_size']} entries): "
-          f"hit rate {c['hit_rate']:.1%}, wall {c['virtual_qps']:.0f} q/s")
+          f"hit rate {c['hit_rate']:.1%}, {c['mshr_hits']} MSHR hits, "
+          f"wall {c['virtual_qps']:.0f} q/s")
+    mz = payload["mshr_zipf"]
+    print_table(
+        f"MSHR reuse vs Zipf skew (burst arrivals, B={mz['max_batch']})",
+        ["zipf s", "distinct", "columns", "cols/query", "mshr hits",
+         "reuse", "kernel p99 ms"],
+        [[r["zipf"], r["distinct_roots"], r["kernel_columns"],
+          r["columns_per_query"], r["mshr_hits"], r["reuse_rate"],
+          r["kernel_p99_ms"]] for r in mz["rows"]])
+    print(f"zero extra columns for outstanding roots: "
+          f"{mz['zero_extra_columns']}")
     b = payload["best_point"]
     print(f"best point: rate={b['rate']}, max_batch={b['B']} -> "
           f"{payload['best_speedup_vs_per_query']:.2f}x the per-query "
@@ -194,6 +263,8 @@ def main(argv: list[str] | None = None) -> int:
                     help="comma-separated widths (must include 1)")
     ap.add_argument("--rates", default="5000,20000,inf",
                     help="comma-separated arrival rates in queries/s")
+    ap.add_argument("--zipfs", default="0.6,1.1,1.5",
+                    help="comma-separated Zipf skews for the MSHR ablation")
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--quick", action="store_true",
                     help="CI smoke configuration")
@@ -210,17 +281,22 @@ def main(argv: list[str] | None = None) -> int:
             "zipf": args.zipf,
             "max_batches": [int(b) for b in args.max_batches.split(",")],
             "rates": [float(r) for r in args.rates.split(",")],
+            "zipfs": [float(s) for s in args.zipfs.split(",")],
         }
 
     payload = run_sweep(cfg["scale"], cfg["edgefactor"], cfg["nqueries"],
                         cfg["root_pool"], cfg["zipf"], cfg["max_batches"],
-                        cfg["rates"], seed=args.seed)
+                        cfg["rates"], cfg["zipfs"], seed=args.seed)
     print_report(payload)
     write_bench_json(args.output, payload)
     print(f"\nwrote {args.output}")
     if not payload["identical_to_direct"]:
         print("ERROR: a served configuration diverged from the direct "
               "engine calls", file=sys.stderr)
+        return 1
+    if not payload["mshr_zipf"]["zero_extra_columns"]:
+        print("ERROR: a duplicate of an outstanding root spawned an extra "
+              "kernel column (MSHR coalescing broke)", file=sys.stderr)
         return 1
     return 0
 

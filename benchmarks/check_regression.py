@@ -16,7 +16,9 @@ What is compared is deliberately machine-portable:
   ``comm_bytes_per_rank`` series, which are deterministic functions of the
   code (chunk activity × analytic cost model), i.e. exact change detectors;
 * ``bench_serve`` — the serving layer's batched-vs-per-query kernel
-  throughput *ratios* (same-process quotients, machine-portable);
+  throughput *ratios* (same-process quotients, machine-portable), plus
+  the MSHR Zipf-ablation ``reuse_rate`` / ``columns_per_query`` ratios,
+  which are seed-deterministic (virtual-clock) exact change detectors;
 * ``bench_fig01_headline`` — the modeled single-source Fig-1 totals
   (counted work × KNL cost model: deterministic, like the dist series).
 
@@ -140,11 +142,12 @@ def _run_serve_quick() -> dict:
         m.QUICK["zipf"],
         m.QUICK["max_batches"],
         m.QUICK["rates"],
+        m.QUICK["zipfs"],
     )
 
 
 def _extract_serve(payload: dict) -> list[Point]:
-    return [
+    points = [
         Point(
             f"rate={r['rate']},B={r['B']}.speedup_vs_per_query",
             r["speedup_vs_per_query"],
@@ -154,6 +157,23 @@ def _extract_serve(payload: dict) -> list[Point]:
         for r in payload["grid"]
         if r["B"] != 1
     ]
+    # MSHR Zipf ablation: reuse under burst arrivals is decided by the
+    # virtual clock, so these ratios are seed-deterministic (exact change
+    # detectors, not timing points).  reuse_rate dropping or
+    # columns_per_query rising means duplicate in-flight misses started
+    # paying for extra kernel columns again.
+    for r in payload.get("mshr_zipf", {}).get("rows", []):
+        key = f"zipf={r['zipf']:g}"
+        points.append(Point(f"{key}.reuse_rate", r["reuse_rate"], "higher", False))
+        points.append(
+            Point(
+                f"{key}.columns_per_query",
+                r["columns_per_query"],
+                "lower",
+                False,
+            )
+        )
+    return points
 
 
 def _run_fig01_quick() -> dict:

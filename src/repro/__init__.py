@@ -93,6 +93,7 @@ _LAZY_EXPORTS = {
     "ServeStats": ("repro.serve.server", "ServeStats"),
     "QueryBatcher": ("repro.serve.batcher", "QueryBatcher"),
     "ResultCache": ("repro.serve.cache", "ResultCache"),
+    "MissStatusRegistry": ("repro.serve.mshr", "MissStatusRegistry"),
     "graph_fingerprint": ("repro.serve.cache", "graph_fingerprint"),
     "Query": ("repro.serve.query", "Query"),
     "QueryResult": ("repro.serve.query", "QueryResult"),
@@ -178,6 +179,7 @@ __all__ = [
     "ServeStats",
     "QueryBatcher",
     "ResultCache",
+    "MissStatusRegistry",
     "graph_fingerprint",
     "Query",
     "QueryResult",

@@ -308,13 +308,17 @@ def _cmd_serve(args) -> int:
           f"{report['mean_batch_width']:.1f}, "
           f"cache hits {report['cache_hits']} "
           f"(hit rate {cs.hit_rate:.1%}), "
-          f"coalesced {report['coalesced']}")
+          f"mshr hits {report['mshr_hits']} "
+          f"(in-flight {server.mshr.stats.inflight_hits}, "
+          f"pending {server.mshr.stats.pending_hits})")
     print(f"throughput: {report['kernel_throughput_qps']:.0f} q/s kernel, "
           f"{report['virtual_throughput_qps']:.0f} q/s wall "
           f"(kernel {report['kernel_s'] * 1e3:.1f} ms)")
     print(f"latency: p50 {report['latency_p50_s'] * 1e3:.2f} ms, "
           f"p95 {report['latency_p95_s'] * 1e3:.2f} ms, "
-          f"p99 {report['latency_p99_s'] * 1e3:.2f} ms")
+          f"p99 {report['latency_p99_s'] * 1e3:.2f} ms (kernel path; "
+          f"{report['cache_hits']} cache hits at "
+          f"{report['cache_latency_p99_s'] * 1e3:g} ms)")
     if args.verbose:
         for reason, count in sorted(server.stats.reasons.items()):
             print(f"  dispatch reason {reason}: {count}")

@@ -13,7 +13,12 @@ single-root queries.  This subsystem is the layer between the two:
   into (N, B) batches on a width (``max_batch``) or deadline
   (``max_wait``) trigger, sharing one frontier column per duplicate root;
 * :class:`~repro.serve.cache.ResultCache` — bounded LRU keyed on
-  (graph fingerprint, semiring, root), consulted before enqueue;
+  (epoch, semiring, root), consulted before enqueue; results commit at
+  their batch's virtual completion time, never at dispatch;
+* :class:`~repro.serve.mshr.MissStatusRegistry` — the MSHR: misses on a
+  root that is already pending or in flight attach as waiters on the
+  outstanding traversal (one frontier column no matter how many users),
+  and ``Server.invalidate()`` bumps the epoch for O(1) invalidation;
 * :class:`~repro.serve.server.Server` — the synchronous driver
   (``submit()`` / ``drain()``) with backpressure and latency/throughput
   accounting, plus :class:`~repro.serve.server.AsyncServer`, the asyncio
@@ -33,6 +38,7 @@ path is registered in the cross-engine differential oracle
 from repro.serve.batcher import Batch, QueryBatcher
 from repro.serve.cache import CacheStats, ResultCache, graph_fingerprint
 from repro.serve.engines import EnginePool, default_strategy
+from repro.serve.mshr import MissStatusRegistry, MSHREntry, MSHRStats
 from repro.serve.query import Query, QueryResult, Rejected, Ticket
 from repro.serve.server import AsyncServer, ServeStats, Server
 from repro.serve.workload import (
@@ -48,6 +54,9 @@ __all__ = [
     "Batch",
     "CacheStats",
     "EnginePool",
+    "MSHREntry",
+    "MSHRStats",
+    "MissStatusRegistry",
     "Query",
     "QueryBatcher",
     "QueryResult",

@@ -16,6 +16,10 @@ when either
 Duplicate roots coalesce: tickets asking the same ``(semiring, root)``
 share one frontier column and are all resolved from its single traversal,
 so k users hammering one root cost the same kernel work as one user.
+(Inside a :class:`~repro.serve.server.Server`, duplicates are normally
+absorbed upstream by the MSHR — :mod:`repro.serve.mshr` — which also
+covers roots already *dispatched*; the batcher's own coalescing remains
+for standalone use and as a defense-in-depth backstop.)
 """
 
 from __future__ import annotations
@@ -35,7 +39,8 @@ class Batch:
     """One released group: the unit of work handed to an engine."""
 
     semiring: str
-    #: int64[B] distinct roots, column order = first-enqueue order.
+    #: int64[B] roots, column order = first-enqueue order.  Distinct per
+    #: coalescing key; a root can repeat only across cache epochs.
     roots: np.ndarray
     #: ``tickets[j]`` are the (coalesced) tickets answered by column ``j``.
     tickets: list[list[Ticket]]
@@ -88,16 +93,24 @@ class QueryBatcher:
 
     # ------------------------------------------------------------------
     def enqueue(self, ticket: Ticket, now: float) -> None:
-        """Add one pending ticket at timestamp ``now`` (coalescing)."""
+        """Add one pending ticket at timestamp ``now`` (coalescing).
+
+        Tickets that carry an MSHR entry coalesce on the entry's full
+        key — epoch included — so a root resubmitted after an
+        ``invalidate()`` gets its own column instead of silently sharing
+        the stale epoch's pending traversal.  Standalone tickets (no
+        server upstream) coalesce on the root alone, as before.
+        """
         semiring, root = ticket.query.batch_key
+        gkey = ticket.mshr.key if ticket.mshr is not None else root
         group = self._groups.setdefault(semiring, OrderedDict())
-        if root in group:
-            group[root].append(ticket)
+        if gkey in group:
+            group[gkey].append(ticket)
             self.coalesced += 1
             return
         if not group:
             self._first[semiring] = now
-        group[root] = [ticket]
+        group[gkey] = [ticket]
 
     def next_deadline(self) -> float | None:
         """Timestamp at which the oldest group becomes due (None = empty)."""
@@ -141,8 +154,8 @@ class QueryBatcher:
         roots = np.empty(width, dtype=np.int64)
         tickets: list[list[Ticket]] = []
         for j in range(width):
-            root, ts = group.popitem(last=False)
-            roots[j] = root
+            _, ts = group.popitem(last=False)
+            roots[j] = ts[0].query.root
             tickets.append(ts)
         if group:
             # The remaining oldest root's first ticket restarts the clock.

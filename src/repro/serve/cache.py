@@ -3,13 +3,22 @@
 Zipfian root popularity — the regime the open-loop workload generator
 models — means a small set of hot roots dominates real traffic.  Those
 traversals are deterministic functions of ``(graph, semiring, root)``, so
-the server consults this cache *before* enqueueing a query: a hot root is
-answered without touching a kernel or occupying a frontier column.
+the server consults this cache *before* touching the miss registry or
+the batcher: a hot root is answered without a kernel or a frontier
+column.  (Hot ``"validate"`` queries also skip the O(N+M) tree checks —
+the server memoizes the verdict per key.)
 
-The key's graph component is a structural fingerprint
-(:func:`graph_fingerprint`) rather than object identity, so a server
-rebuilt over the same graph — or two servers over equal graphs — share
-semantics: equal structure, equal key.
+Keys are ``(epoch, semiring, root)``.  The epoch is the server's cheap
+monotonic invalidation counter: ``Server.invalidate()`` bumps it, which
+makes every older entry unreachable in O(1) instead of rehashing the
+graph.  The structural BLAKE2b digest (:func:`graph_fingerprint`) is
+still available for cross-process provenance, but it is computed once
+per epoch — never per lookup.
+
+Entries become visible only when the server *commits* them at their
+batch's virtual completion time (see :mod:`repro.serve.mshr`), never at
+dispatch — so a lookup can never observe a result before the virtual
+clock says it exists.
 """
 
 from __future__ import annotations
@@ -32,8 +41,11 @@ def graph_fingerprint(graph_or_rep: Graph | SellCSigma) -> str:
     count: equal graphs (same adjacency structure) produce equal
     fingerprints across processes, unequal ones collide only with
     cryptographic improbability.  A built representation fingerprints its
-    *original* graph, so the cache key is independent of C/σ build
+    *original* graph, so the digest is independent of C/σ build
     parameters — the answers those builds produce are bit-identical.
+
+    The serving layer computes this once per epoch (for provenance), not
+    per lookup: cache keys use the epoch counter instead.
     """
     graph = (graph_or_rep.graph_original
              if isinstance(graph_or_rep, SellCSigma) else graph_or_rep)
@@ -53,26 +65,35 @@ class CacheStats:
     evictions: int = 0
     #: Stores refused because ``capacity == 0``.
     rejected_puts: int = 0
+    #: Lookups whose query was then refused by backpressure: counted
+    #: apart from ``misses`` so overload does not deflate ``hit_rate``
+    #: (a rejected query never had a chance to be served from cache).
+    rejected_lookups: int = 0
 
     @property
     def lookups(self) -> int:
-        """Total ``get()`` calls."""
+        """Served ``get()`` calls (excludes backpressure-rejected ones)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups answered from cache (0.0 when unused)."""
+        """Fraction of served lookups answered from cache (0.0 unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 
 @dataclass
 class ResultCache:
-    """Bounded LRU mapping ``(fingerprint, semiring, root)`` → BFSResult.
+    """Bounded LRU mapping ``(epoch, semiring, root)`` → BFSResult.
 
     ``capacity`` bounds the entry count; 0 disables the cache entirely
     (every ``get`` misses, every ``put`` is dropped) so "cache off" needs
     no branching in the server.  ``get`` refreshes recency; inserting
     beyond capacity evicts the least-recently-used entry.
+
+    The server resolves lookups in stages (cache → MSHR → backpressure),
+    so it uses :meth:`peek` plus the explicit ``record_*`` counters to
+    classify each lookup only once its outcome is known; :meth:`get`
+    bundles the common hit-or-miss accounting for direct users.
     """
 
     capacity: int = 1024
@@ -86,17 +107,39 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: tuple[str, str, int]) -> BFSResult | None:
-        """The cached result for ``key``, refreshed as most-recent."""
+    def peek(self, key: tuple[int, str, int]) -> BFSResult | None:
+        """The cached result for ``key``, refreshed as most-recent —
+        without touching the hit/miss counters (the caller classifies
+        the lookup itself via ``record_hit``/``record_miss``/...)."""
         res = self._entries.get(key)
+        if res is not None:
+            self._entries.move_to_end(key)
+        return res
+
+    def get(self, key: tuple[int, str, int]) -> BFSResult | None:
+        """:meth:`peek` plus hit/miss accounting."""
+        res = self.peek(key)
         if res is None:
             self.stats.misses += 1
             return None
-        self._entries.move_to_end(key)
         self.stats.hits += 1
         return res
 
-    def put(self, key: tuple[str, str, int], result: BFSResult) -> None:
+    # Lookup classification: the server decides hit / miss / rejected
+    # only after consulting the MSHR and backpressure, hence explicit.
+    def record_hit(self) -> None:
+        """Count one lookup answered from cache."""
+        self.stats.hits += 1
+
+    def record_miss(self) -> None:
+        """Count one lookup that missed and was (or will be) served."""
+        self.stats.misses += 1
+
+    def record_rejected_lookup(self) -> None:
+        """Count one lookup whose query backpressure then refused."""
+        self.stats.rejected_lookups += 1
+
+    def put(self, key: tuple[int, str, int], result: BFSResult) -> None:
         """Insert (or refresh) ``key``, evicting LRU entries past capacity."""
         if self.capacity == 0:
             self.stats.rejected_puts += 1

@@ -21,9 +21,12 @@ differs per ticket.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.bfs.result import BFSResult
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime only
+    from repro.serve.mshr import MSHREntry
 
 __all__ = ["KINDS", "Query", "QueryResult", "Rejected", "Ticket"]
 
@@ -69,6 +72,12 @@ class QueryResult:
     bfs: BFSResult | None = None
     #: Answered straight from the :class:`~repro.serve.cache.ResultCache`.
     cache_hit: bool = False
+    #: Answered by attaching to another query's outstanding miss (the
+    #: MSHR coalescing path): no new frontier column was paid for.
+    mshr_hit: bool = False
+    #: Queries sharing the answering traversal's frontier column at the
+    #: time this result was resolved (0 = cache hit or rejection).
+    waiters: int = 0
     #: Width of the SpMM batch that computed the answer (0 = cache hit or
     #: rejection).
     batch_width: int = 0
@@ -102,6 +111,10 @@ class Ticket:
     query: Query
     #: Virtual/real submit timestamp (the server's clock domain).
     submitted_at: float = 0.0
+    #: The outstanding-miss entry this ticket waits on (set by the
+    #: server's MSHR when the ticket allocates or attaches; None for
+    #: cache hits and rejections).
+    mshr: "MSHREntry | None" = field(default=None, repr=False)
     _result: QueryResult | None = field(default=None, repr=False)
 
     @property

@@ -1,14 +1,33 @@
 """The serving driver: submit single-root queries, answer them in batches.
 
-:class:`Server` is the synchronous core.  ``submit()`` consults the
-:class:`~repro.serve.cache.ResultCache` (hot roots never touch a kernel),
-applies backpressure (a full pending queue resolves the ticket to an
-explicit :class:`~repro.serve.query.Rejected` result instead of growing
-without bound), and otherwise hands the ticket to the
-:class:`~repro.serve.batcher.QueryBatcher`.  Batches released by width or
-deadline run on the engine the :class:`~repro.serve.engines.EnginePool`
-picks for their width, and every resolved query is accounted in
-:class:`ServeStats` (latency percentiles, batch widths, kernel seconds).
+:class:`Server` is the synchronous core.  ``submit()`` resolves each
+query in stages:
+
+1. **cache** — a committed result for ``(epoch, semiring, root)`` is a
+   hit: answered immediately, no kernel, no frontier column (hot
+   ``"validate"`` queries reuse a memoized verdict, so they skip the
+   O(N+M) tree checks too);
+2. **MSHR** — a miss on a root that is already *pending* or *in flight*
+   (:class:`~repro.serve.mshr.MissStatusRegistry`) attaches the ticket
+   as a waiter on the outstanding traversal instead of enqueueing a new
+   column — zero extra kernel work, latency = the batch's virtual
+   completion minus the submit time;
+3. **backpressure** — only a query that would need a *new* frontier
+   column counts against ``max_pending``; beyond it the ticket resolves
+   to an explicit :class:`~repro.serve.query.Rejected` result (and its
+   cache lookup is counted as rejected, not as a miss);
+4. **enqueue** — otherwise the ticket allocates an MSHR entry and hands
+   its column to the :class:`~repro.serve.batcher.QueryBatcher`.
+
+Batches released by width or deadline run on the engine the
+:class:`~repro.serve.engines.EnginePool` picks for their width.  Results
+become cache-visible only at the batch's *virtual completion time*
+(``busy_until``), never at dispatch: completed entries are committed
+lazily as the clock advances, so a query arriving before completion can
+never observe the result early (it attaches to the in-flight entry and
+pays the remaining wait instead).  Every resolved query is accounted in
+:class:`ServeStats` — kernel-path and cache-hit latencies are kept as
+separate populations so percentiles stay meaningful under Zipf skew.
 
 Time is explicit: every entry point takes ``now=`` (defaulting to the
 server's ``clock``), so workload generators can drive the server on a
@@ -38,6 +57,7 @@ from repro.semirings.base import get_semiring
 from repro.serve.batcher import Batch, QueryBatcher
 from repro.serve.cache import ResultCache, graph_fingerprint
 from repro.serve.engines import DEFAULT_HYBRID_MAX_WIDTH, EnginePool
+from repro.serve.mshr import MissStatusRegistry, MSHREntry
 from repro.serve.query import Query, QueryResult, Rejected, Ticket
 
 __all__ = ["AsyncServer", "ServeStats", "Server"]
@@ -51,6 +71,9 @@ class ServeStats:
     served: int = 0
     rejected: int = 0
     cache_hits: int = 0
+    #: Queries that attached to an outstanding (pending or in-flight)
+    #: miss instead of paying for a new frontier column.
+    mshr_hits: int = 0
     batches: int = 0
     #: Total kernel wall-clock seconds across dispatched batches.
     kernel_s: float = 0.0
@@ -58,8 +81,13 @@ class ServeStats:
     widths: list[int] = field(default_factory=list)
     #: Release-reason histogram (``width`` / ``deadline`` / ``drain``).
     reasons: dict[str, int] = field(default_factory=dict)
-    #: Per-served-query latency (submit → completion), seconds.
+    #: Kernel-path latency (submit → batch completion) per query resolved
+    #: by a traversal — batch fan-out and in-flight MSHR attaches alike.
     latencies: list[float] = field(default_factory=list)
+    #: Cache-hit latency per query answered from the committed cache — a
+    #: separate population (identically 0.0 on the virtual clock), so
+    #: kernel percentiles are not diluted by hits under Zipf skew.
+    cache_latencies: list[float] = field(default_factory=list)
 
     @property
     def mean_batch_width(self) -> float:
@@ -73,10 +101,16 @@ class ServeStats:
         return kernel_served / self.kernel_s if self.kernel_s > 0 else 0.0
 
     def latency_percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0–100) of served-query latencies."""
+        """``p``-th percentile (0–100) of *kernel-path* latencies."""
         if not self.latencies:
             return 0.0
         return float(np.percentile(np.asarray(self.latencies), p))
+
+    def cache_latency_percentile(self, p: float) -> float:
+        """``p``-th percentile (0–100) of cache-hit latencies."""
+        if not self.cache_latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.cache_latencies), p))
 
     def summary(self) -> dict:
         """Plain-dict snapshot (JSON-friendly; used by benches/CLI)."""
@@ -85,6 +119,7 @@ class ServeStats:
             "served": self.served,
             "rejected": self.rejected,
             "cache_hits": self.cache_hits,
+            "mshr_hits": self.mshr_hits,
             "batches": self.batches,
             "mean_batch_width": self.mean_batch_width,
             "reasons": dict(self.reasons),
@@ -93,6 +128,8 @@ class ServeStats:
             "latency_p50_s": self.latency_percentile(50),
             "latency_p95_s": self.latency_percentile(95),
             "latency_p99_s": self.latency_percentile(99),
+            "cache_latency_p50_s": self.cache_latency_percentile(50),
+            "cache_latency_p99_s": self.cache_latency_percentile(99),
         }
 
 
@@ -112,10 +149,13 @@ class Server:
         deadline releases it (0 = dispatch on every submit: B degenerates
         to the coalesced arrivals of a single timestamp).
     cache_size:
-        :class:`ResultCache` capacity in entries (0 disables caching).
+        :class:`ResultCache` capacity in entries (0 disables caching;
+        in-flight miss coalescing through the MSHR stays on either way).
     max_pending:
-        Pending-query bound; a submit beyond it is rejected.  ``None``
-        (default) = unbounded.
+        Bound on frontier columns waiting in the batcher; a submit that
+        would need a *new* column beyond it is rejected.  Duplicates of
+        an outstanding root attach to its MSHR entry for free and are
+        never rejected.  ``None`` (default) = unbounded.
     alpha / slimwork / strategy / hybrid_max_width:
         Engine-selection knobs, see :class:`EnginePool`.
     clock:
@@ -136,15 +176,22 @@ class Server:
                 f"max_pending must be >= 1 or None, got {max_pending}")
         self.rep = build_rep(graph_or_rep, C, sigma, slim=True)
         self.graph = self.rep.graph_original
-        self.fingerprint = graph_fingerprint(self.rep)
         self.batcher = QueryBatcher(max_batch=max_batch, max_wait=max_wait)
         self.cache = ResultCache(capacity=cache_size)
+        self.mshr = MissStatusRegistry()
         self.pool = EnginePool(self.rep, alpha=alpha, slimwork=slimwork,
                                strategy=strategy,
                                hybrid_max_width=hybrid_max_width)
         self.max_pending = max_pending
         self.clock = clock
         self.stats = ServeStats()
+        #: Monotonic invalidation counter: the first component of every
+        #: cache/MSHR key.  Bumped by :meth:`invalidate`.
+        self.epoch = 0
+        self._fingerprint: str | None = None
+        #: Memoized ``"validate"`` verdicts per (epoch, semiring, root):
+        #: hot roots never re-run the O(N+M) five-check validation.
+        self._validated: set[tuple[int, str, int]] = set()
         #: Virtual completion time of the last dispatched batch (FIFO).
         self._busy_until = float("-inf")
 
@@ -168,16 +215,52 @@ class Server:
         """
         return self._busy_until
 
+    @property
+    def fingerprint(self) -> str:
+        """Structural digest of the served graph, hashed once per epoch.
+
+        Provenance only — cache keys use the cheap :attr:`epoch` counter
+        instead of re-hashing the CSR arrays on every lookup.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = graph_fingerprint(self.rep)
+        return self._fingerprint
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> int:
+        """Begin a new epoch: no query submitted from now on can observe
+        a result computed before this call.
+
+        O(1) where it matters: the epoch counter is bumped (making every
+        older key unreachable) and the fingerprint is re-hashed lazily on
+        next access.  Already-cached entries are dropped; traversals
+        still pending or in flight run to completion and resolve their
+        existing waiters, but their results are *discarded at commit*
+        instead of becoming cache-visible.  Returns the new epoch.
+
+        This is the hook for mutable graphs: mutate the underlying
+        structure, then ``invalidate()`` so stale traversals can never be
+        served again.
+        """
+        self.epoch += 1
+        self._fingerprint = None
+        self.cache.clear()
+        self._validated.clear()
+        return self.epoch
+
     # ------------------------------------------------------------------
     def submit(self, root: int, *, kind: str = "distances",
                semiring: str = "sel-max", target: int | None = None,
                now: float | None = None) -> Ticket:
         """Submit one query; returns its :class:`Ticket`.
 
-        Resolution order: cache hit (immediate), backpressure rejection
-        (immediate, explicit :class:`Rejected` result), else enqueue —
-        the ticket resolves when its batch dispatches (possibly within
-        this very call, if it fills a batch or a deadline is due).
+        Resolution order: cache hit (immediate), MSHR attach (shares the
+        outstanding traversal — immediate if that batch already
+        dispatched, else resolved at its dispatch), backpressure
+        rejection (immediate, explicit :class:`Rejected` result — only
+        for queries needing a new frontier column), else enqueue — the
+        ticket resolves when its batch dispatches (possibly within this
+        very call, if it fills a batch or a deadline is due).
 
         Invalid input — unknown kind/semiring, out-of-range root or
         target — raises :class:`ValueError` (a client error, not
@@ -193,32 +276,53 @@ class Server:
             raise ValueError(f"target {query.target} out of range [0, {n})")
         if now is None:
             now = self.clock()
+        self._commit(now)
         self.stats.submitted += 1
         ticket = Ticket(query=query, submitted_at=now)
 
-        cached = self.cache.get((self.fingerprint, semiring, query.root))
+        key = (self.epoch, semiring, query.root)
+        cached = self.cache.peek(key)
         if cached is not None:
+            self.cache.record_hit()
             self.stats.cache_hits += 1
             self.stats.served += 1
-            self.stats.latencies.append(0.0)
+            self.stats.cache_latencies.append(0.0)
             ticket._resolve(QueryResult(
-                query=query, status="served", value=self._reduce(query, cached),
+                query=query, status="served",
+                value=self._reduce(query, cached, key),
                 bfs=cached, cache_hit=True))
+            return ticket
+
+        entry = self.mshr.lookup(key)
+        if entry is not None:
+            # Outstanding miss: attach as a waiter (zero extra kernel
+            # work), *before* any backpressure check — sharing an
+            # existing column must never be rejected.
+            self.cache.record_miss()
+            self.mshr.attach(entry, ticket)
+            self.stats.mshr_hits += 1
+            if entry.state == "inflight":
+                self._resolve_inflight(entry, ticket)
             return ticket
 
         if (self.max_pending is not None
                 and self.batcher.pending_queries >= self.max_pending):
+            self.cache.record_rejected_lookup()
             self.stats.rejected += 1
             ticket._resolve(Rejected(query))
             return ticket
 
+        self.cache.record_miss()
+        self.mshr.allocate(key, ticket)
         self.batcher.enqueue(ticket, now)
         self._pump(now)
         return ticket
 
     def poll(self, now: float | None = None) -> None:
-        """Dispatch any deadline-due batches without submitting."""
-        self._pump(self.clock() if now is None else now)
+        """Commit completed batches and dispatch any deadline-due ones."""
+        now = self.clock() if now is None else now
+        self._commit(now)
+        self._pump(now)
 
     def drain(self, now: float | None = None) -> list[QueryResult]:
         """Dispatch everything still pending; returns the drained results.
@@ -228,12 +332,21 @@ class Server:
         in completion order.
         """
         now = self.clock() if now is None else now
+        self._commit(now)
         out: list[QueryResult] = []
         for batch in self.batcher.flush_all():
             out.extend(self._run_batch(batch, now))
         return out
 
     # ------------------------------------------------------------------
+    def _commit(self, now: float) -> None:
+        """Publish every in-flight traversal whose virtual completion
+        time has passed: only now does it become cache-visible.  Entries
+        whose epoch was invalidated while in flight are dropped."""
+        for entry in self.mshr.take_due(now):
+            if entry.key[0] == self.epoch:
+                self.cache.put(entry.key, entry.result)
+
     def _pump(self, now: float) -> None:
         for batch in self.batcher.ready(now):
             self._run_batch(batch, now)
@@ -253,12 +366,14 @@ class Server:
         st.reasons[batch.reason] = st.reasons.get(batch.reason, 0) + 1
         out: list[QueryResult] = []
         for j, res in enumerate(results):
-            self.cache.put(
-                (self.fingerprint, batch.semiring, int(batch.roots[j])), res)
-            for ticket in batch.tickets[j]:
+            entry = self._entry_for(batch, j)
+            self.mshr.dispatch(entry, res, completion, batch.width, name)
+            nwaiters = len(entry.waiters)
+            for i, ticket in enumerate(entry.waiters):
                 qr = QueryResult(
                     query=ticket.query, status="served",
-                    value=self._reduce(ticket.query, res), bfs=res,
+                    value=self._reduce(ticket.query, res, entry.key),
+                    bfs=res, mshr_hit=i > 0, waiters=nwaiters,
                     batch_width=batch.width, engine=name,
                     latency_s=completion - ticket.submitted_at)
                 ticket._resolve(qr)
@@ -267,14 +382,51 @@ class Server:
                 out.append(qr)
         return out
 
-    def _reduce(self, query: Query, res: BFSResult):
+    def _entry_for(self, batch: Batch, j: int) -> MSHREntry:
+        """The MSHR entry owning column ``j`` of ``batch``.
+
+        ``submit()`` always allocates one before enqueueing, so the
+        primary ticket carries it; tickets enqueued into the batcher
+        directly (bypassing the server) get an entry synthesized here,
+        and any batcher-level coalesced duplicates are folded into the
+        waiter list so fan-out stays the single resolution path.
+        """
+        tickets = batch.tickets[j]
+        entry = tickets[0].mshr
+        if entry is None:
+            entry = self.mshr.allocate(
+                (self.epoch, batch.semiring, int(batch.roots[j])), tickets[0])
+        for t in tickets[1:]:
+            if t.mshr is None:
+                self.mshr.attach(entry, t)
+        return entry
+
+    def _resolve_inflight(self, entry: MSHREntry, ticket: Ticket) -> None:
+        """Resolve a waiter that attached after its batch dispatched: the
+        answer exists from the batch's virtual completion, so latency is
+        completion − submit (never the impossible 0.0 of a premature
+        cache hit)."""
+        qr = QueryResult(
+            query=ticket.query, status="served",
+            value=self._reduce(ticket.query, entry.result, entry.key),
+            bfs=entry.result, mshr_hit=True, waiters=len(entry.waiters),
+            batch_width=entry.batch_width, engine=entry.engine,
+            latency_s=entry.completion - ticket.submitted_at)
+        ticket._resolve(qr)
+        self.stats.served += 1
+        self.stats.latencies.append(qr.latency_s)
+
+    def _reduce(self, query: Query, res: BFSResult,
+                key: tuple[int, str, int]):
         """Kind-specific reduction of the shared traversal."""
         if query.kind == "reachability":
             return bool(np.isfinite(res.dist[query.target]))
         if query.kind == "validate":
-            from repro.graph500 import validate_bfs_tree
+            if key not in self._validated:
+                from repro.graph500 import validate_bfs_tree
 
-            validate_bfs_tree(self.graph, res)
+                validate_bfs_tree(self.graph, res)
+                self._validated.add(key)
             return True
         return res  # "distances": the traversal is the answer
 
@@ -285,15 +437,25 @@ class AsyncServer:
     ``await async_submit(...)`` resolves when the query's batch runs —
     which a width trigger may do inline, a ``max_wait`` timer (a real
     asyncio timer armed at the batcher's next deadline) does for partial
-    batches, and :meth:`drain` forces.  The wrapped server must use the
-    default real-time clock (virtual ``now`` values would disagree with
-    the event loop's timers).
+    batches, and :meth:`drain` forces.  Duplicate submits attach to the
+    outstanding miss's MSHR entry inside the server, so their futures all
+    settle from that one traversal's fan-out.  The timer is
+    deadline-aware: it tracks the deadline it was armed for and re-arms
+    whenever the batcher's next deadline moves (e.g. after a
+    width-triggered release empties the group it was armed for), so no
+    stale timer is left behind and no due group is stranded.  The wrapped
+    server must use the default real-time clock (virtual ``now`` values
+    would disagree with the event loop's timers).
     """
 
     def __init__(self, server: Server):
         self.server = server
         self._waiters: list = []  # (Ticket, asyncio.Future) pairs
         self._timer = None
+        #: The batcher deadline the live timer was armed for (None =
+        #: no timer armed); compared against ``next_deadline()`` so a
+        #: moved deadline cancels and re-arms instead of going stale.
+        self._armed_deadline: float | None = None
 
     async def async_submit(self, root: int, *, kind: str = "distances",
                            semiring: str = "sel-max",
@@ -306,6 +468,8 @@ class AsyncServer:
                                     target=target)
         self._settle()
         if ticket.done:
+            if self._waiters:
+                self._arm_timer(loop)  # this submit may have moved the deadline
             return ticket.result()
         future = loop.create_future()
         self._waiters.append((ticket, future))
@@ -333,20 +497,30 @@ class AsyncServer:
             else:
                 still.append((ticket, future))
         self._waiters = still
-        if not self._waiters and self._timer is not None:
+        if not self._waiters:
+            self._disarm()
+
+    def _disarm(self) -> None:
+        if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self._armed_deadline = None
 
     def _arm_timer(self, loop) -> None:
         deadline = self.server.batcher.next_deadline()
-        if deadline is None or (self._timer is not None
-                                and not self._timer.cancelled()):
+        if deadline == self._armed_deadline and (
+                deadline is None or self._timer is not None):
+            return  # already armed for exactly this deadline
+        self._disarm()
+        if deadline is None:
             return
+        self._armed_deadline = deadline
         delay = max(0.0, deadline - self.server.clock())
         self._timer = loop.call_later(delay, self._fire, loop)
 
     def _fire(self, loop) -> None:
         self._timer = None
+        self._armed_deadline = None
         self.server.poll()
         self._settle()
         if self._waiters:

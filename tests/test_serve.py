@@ -313,9 +313,13 @@ class TestServer:
             server.submit(r, now=0.0)
         server.drain(now=0.0)
         assert server.stats.widths == [4]
-        # Width 4 > hybrid_max_width 2: the all-pull engine ran.
-        t = server.submit(0, now=0.0)  # cache off: recompute
-        server.drain(now=0.0)
+        # Width 4 > hybrid_max_width 2: the all-pull engine ran.  Re-ask
+        # after the batch's virtual completion (an earlier `now` would
+        # coalesce onto the in-flight msbfs traversal instead): with the
+        # cache off the root is recomputed at width 1 <= 2.
+        later = server.busy_until + 1.0
+        t = server.submit(0, now=later)
+        server.drain(now=later)
         assert t.result().engine == "mshybrid"  # width 1 <= 2
 
     def test_validate_kind_runs_graph500_checks(self, served):
@@ -524,3 +528,125 @@ class TestAsyncServer:
 
         first, second = asyncio.run(scenario())
         assert not first.cache_hit and second.cache_hit
+
+    def test_timer_rearms_when_deadline_moves(self, kron_small):
+        # Stale-timer regression: a width-triggered release used to leave
+        # the timer armed for the emptied group's (earlier) deadline and
+        # never re-arm it for the surviving group.  max_wait is large so
+        # the timer cannot fire during the test; only arming is observed.
+        async def scenario():
+            server = AsyncServer(Server(kron_small, C=8, max_batch=2,
+                                        max_wait=5.0, cache_size=0))
+            task_a = asyncio.ensure_future(server.async_submit(0))
+            await asyncio.sleep(0)
+            armed_first = server._armed_deadline
+            assert armed_first is not None
+            # A second group (tropical) becomes pending later: its
+            # deadline is strictly after the sel-max group's.
+            task_b = asyncio.ensure_future(
+                server.async_submit(1, semiring="tropical"))
+            await asyncio.sleep(0)
+            assert server._armed_deadline == armed_first  # still oldest
+            # Width release empties the sel-max group inline ...
+            task_a2 = asyncio.ensure_future(server.async_submit(2))
+            await asyncio.sleep(0)
+            # ... so the timer must now track the tropical group's
+            # deadline, not the stale (already-released) one.
+            assert server._armed_deadline == \
+                server.server.batcher.next_deadline()
+            assert server._armed_deadline != armed_first
+            await server.drain()
+            results = await asyncio.gather(task_a, task_b, task_a2)
+            return results, server._timer, server._armed_deadline
+
+        results, timer, armed = asyncio.run(scenario())
+        assert all(r.status == "served" for r in results)
+        assert timer is None and armed is None  # fully disarmed when idle
+
+
+# ----------------------------------------------------------------------
+class TestBugfixRegressions:
+    """Pin the serve-layer fixes that rode along with the MSHR change."""
+
+    @pytest.fixture(scope="class")
+    def rep(self, kron_small):
+        return SlimSell(kron_small, 8, kron_small.n)
+
+    def test_no_premature_cache_visibility(self, rep):
+        # The headline bug: a duplicate arriving while its root's batch
+        # is still (virtually) in flight used to read the cache entry
+        # published at *dispatch* and report an impossible 0.0 latency.
+        server = Server(rep, max_batch=1, cache_size=64)
+        server.submit(0, now=0.0)
+        completion = server.busy_until
+        mid = completion / 2  # strictly before the batch completes
+        res = server.submit(0, now=mid).result()
+        assert not res.cache_hit and res.mshr_hit
+        assert res.latency_s == completion - mid > 0.0
+        assert server.stats.batches == 1  # and no extra kernel column
+        assert all(lat > 0.0 for lat in server.stats.latencies)
+
+    def test_duplicate_coalesces_before_backpressure(self, rep):
+        # Coalescing must run before the max_pending check: a duplicate
+        # of an outstanding root costs no queue slot and no kernel work,
+        # so rejecting it would shed load that is free to serve.
+        server = Server(rep, max_batch=64, max_wait=60.0, cache_size=0,
+                        max_pending=1)
+        first = server.submit(0, now=0.0)
+        dup = server.submit(0, now=0.0)  # queue "full", but coalescible
+        assert not dup.rejected and server.stats.mshr_hits == 1
+        distinct = server.submit(1, now=0.0)  # genuinely new work
+        assert distinct.rejected
+        server.drain(now=0.0)
+        assert first.result().bfs is dup.result().bfs
+        # Same holds while the batch is in flight (dispatched, not
+        # committed): the MSHR still owns the root, so no rejection.
+        inflight_dup = server.submit(0, now=0.0)
+        assert not inflight_dup.rejected and inflight_dup.result().mshr_hit
+
+    def test_rejected_lookup_not_a_cache_miss(self, rep):
+        # A rejected submit never produces a cache entry, so counting
+        # its lookup as a miss deflated the hit rate.
+        server = Server(rep, max_batch=64, max_wait=60.0, cache_size=8,
+                        max_pending=1)
+        server.submit(0, now=0.0)
+        misses = server.cache.stats.misses
+        assert server.submit(1, now=0.0).rejected
+        assert server.cache.stats.misses == misses
+        assert server.cache.stats.rejected_lookups == 1
+        assert server.cache.stats.lookups == misses  # hit_rate unaffected
+
+    def test_cache_hits_not_in_kernel_latencies(self, rep):
+        # Cache hits used to append 0.0 to the kernel-path latency list,
+        # dragging p50/p99 toward zero under skewed (hot-root) traffic.
+        server = Server(rep, max_batch=1, cache_size=8)
+        server.submit(0, now=0.0)
+        nlat = len(server.stats.latencies)
+        hit = server.submit(0, now=server.busy_until + 1.0)
+        assert hit.result().cache_hit
+        assert len(server.stats.latencies) == nlat  # no phantom 0.0
+        assert server.stats.cache_latencies == [0.0]
+        assert min(server.stats.latencies) > 0.0
+        s = server.stats.summary()
+        assert s["cache_latency_p99_s"] == 0.0 and s["latency_p50_s"] > 0.0
+
+    def test_validate_verdict_memoized(self, rep, monkeypatch):
+        # A cache hit on a "validate" query used to re-run the full
+        # O(N + M) Graph500 tree check; the verdict is now memoized per
+        # (epoch, semiring, root).
+        import repro.graph500 as g5
+
+        calls = {"n": 0}
+        real = g5.validate_bfs_tree
+
+        def counting(graph, res):
+            calls["n"] += 1
+            return real(graph, res)
+
+        monkeypatch.setattr(g5, "validate_bfs_tree", counting)
+        server = Server(rep, max_batch=1, cache_size=8)
+        server.submit(0, kind="validate", now=0.0)
+        assert calls["n"] == 1
+        hit = server.submit(0, kind="validate", now=server.busy_until + 1.0)
+        assert hit.result().cache_hit and hit.result().value is True
+        assert calls["n"] == 1  # verdict reused, tree check skipped
