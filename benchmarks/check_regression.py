@@ -19,6 +19,10 @@ What is compared is deliberately machine-portable:
   throughput *ratios* (same-process quotients, machine-portable), plus
   the MSHR Zipf-ablation ``reuse_rate`` / ``columns_per_query`` ratios,
   which are seed-deterministic (virtual-clock) exact change detectors;
+* ``bench_resilience`` — goodput/timeout/retry curves vs injected fault
+  rate (virtual clock + seeded fault stream + modeled service times) and
+  the dist tier's checkpoint-vs-recompute overhead ratios: fully
+  deterministic, gated exactly;
 * ``bench_fig01_headline`` — the modeled single-source Fig-1 totals
   (counted work × KNL cost model: deterministic, like the dist series).
 
@@ -176,6 +180,61 @@ def _extract_serve(payload: dict) -> list[Point]:
     return points
 
 
+def _run_resilience_quick() -> dict:
+    import bench_resilience as m
+
+    return m.run_sweep(
+        m.QUICK["scale"],
+        m.QUICK["edgefactor"],
+        m.QUICK["nqueries"],
+        m.QUICK["root_pool"],
+        m.QUICK["zipf"],
+        m.QUICK["rate"],
+        m.QUICK["deadline_s"],
+        m.QUICK["fault_rates"],
+        m.QUICK["dist_ranks"],
+        m.QUICK["dist_batch"],
+        m.QUICK["failure_probs"],
+        m.QUICK["checkpoint_intervals"],
+    )
+
+
+def _extract_resilience(payload: dict) -> list[Point]:
+    # Virtual clocks + seeded fault streams + modeled service times: every
+    # number is an exact (timing-free) change detector.  Goodput dropping
+    # or timeout/retry rates rising means a resilience policy regressed.
+    points = []
+    for r in payload["serve"]["rows"]:
+        key = f"fault={r['fault_rate']:g}"
+        points.append(Point(f"{key}.goodput", r["goodput"], "higher", False))
+        points.append(
+            Point(f"{key}.timeout_rate", r["timeout_rate"], "lower", False)
+        )
+        points.append(
+            Point(
+                f"{key}.retries_per_query",
+                r["retries_per_query"],
+                "lower",
+                False,
+            )
+        )
+    for r in payload["dist"]["rows"]:
+        ck = (
+            "never"
+            if r["checkpoint_interval"] is None
+            else r["checkpoint_interval"]
+        )
+        points.append(
+            Point(
+                f"p={r['rank_failure_prob']:g},ckpt={ck}.overhead_ratio",
+                r["overhead_ratio"],
+                "lower",
+                False,
+            )
+        )
+    return points
+
+
 def _run_fig01_quick() -> dict:
     import bench_fig01_headline as m
 
@@ -207,6 +266,12 @@ BENCHES = {
         True,
     ),
     "serve": ("BENCH_serve.json", _run_serve_quick, _extract_serve, False),
+    "resilience": (
+        "BENCH_resilience.json",
+        _run_resilience_quick,
+        _extract_resilience,
+        True,
+    ),
     "fig01": ("BENCH_fig01.json", _run_fig01_quick, _extract_fig01, True),
 }
 

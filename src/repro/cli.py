@@ -188,6 +188,23 @@ def _cmd_dist(args) -> int:
         raise SystemExit("--transpose requires --grid (the 2D model)")
     if not 0.0 <= args.overlap <= 1.0:
         raise SystemExit(f"--overlap must be in [0, 1], got {args.overlap:g}")
+    for name in ("rank_failure", "straggler"):
+        v = getattr(args, name)
+        if not 0.0 <= v <= 1.0:
+            flag = "--" + name.replace("_", "-")
+            raise SystemExit(f"{flag} must be in [0, 1], got {v:g}")
+    if args.checkpoint_interval is not None and args.checkpoint_interval < 1:
+        raise SystemExit(f"--checkpoint-interval must be >= 1, "
+                         f"got {args.checkpoint_interval}")
+    faults = None
+    if args.rank_failure > 0 or args.straggler > 0:
+        from repro.dist.faults import DistFaultModel
+
+        faults = DistFaultModel(
+            rank_failure_prob=args.rank_failure,
+            straggler_prob=args.straggler,
+            checkpoint_interval=args.checkpoint_interval,
+            seed=args.fault_seed)
     g = _load_graph(args.graph)
     machine = get_machine(args.machine)
     network = get_network(args.network)
@@ -204,13 +221,14 @@ def _cmd_dist(args) -> int:
             raise SystemExit(f"--grid must be RxC (e.g. 4x4), got {args.grid!r}")
         res = bfs_dist_2d(rep, root, (int(r), int(c)), machine, network,
                           slimwork=slimwork, batch=args.batch,
-                          overlap=args.overlap, transpose=args.transpose)
+                          overlap=args.overlap, transpose=args.transpose,
+                          faults=faults)
     else:
         part = (Partition1D.blocks(rep.nc, args.ranks) if args.blocks
                 else Partition1D.balanced(rep.cl, args.ranks))
         res = bfs_dist_1d(rep, root, part, machine, network,
                           slimwork=slimwork, batch=args.batch,
-                          overlap=args.overlap)
+                          overlap=args.overlap, faults=faults)
     t_local = sum(it.t_local_s for it in res.iterations)
     t_comm = sum(it.t_comm_s for it in res.iterations)
     if batched:
@@ -237,12 +255,23 @@ def _cmd_dist(args) -> int:
               f"= {res.modeled_total_s * 1e3:.3f} ms "
               f"(comm share {res.comm_fraction:.1%}, "
               f"{res.total_comm_bytes} bytes/rank)")
+    if faults is not None:
+        overhead = res.fault_overhead_s
+        base = res.modeled_total_s - overhead
+        share = f" ({overhead / base:.1%} of fault-free time)" if base > 0 \
+            else ""
+        interval = args.checkpoint_interval or "none (recompute from root)"
+        print(f"resilience: rank-failure p={args.rank_failure:g}/rank/iter, "
+              f"straggler p={args.straggler:g}, checkpoint "
+              f"interval={interval}: overhead {overhead * 1e3:.3f} ms"
+              + share)
     if args.verbose:
         for it in res.iterations:
             print(f"  iter {it.k}: newly={it.newly} width={it.width} "
                   f"active={it.chunks_active} imbalance={it.imbalance:.2f} "
                   f"t_local={it.t_local_s * 1e6:.1f}us "
-                  f"t_comm={it.t_comm_s * 1e6:.1f}us")
+                  f"t_comm={it.t_comm_s * 1e6:.1f}us "
+                  f"t_fault={it.t_fault_s * 1e6:.1f}us")
     return 0
 
 
@@ -270,6 +299,24 @@ def _cmd_serve(args) -> int:
         raise SystemExit(f"--root-pool must be >= 1, got {args.root_pool}")
     if args.clients is not None and args.clients < 1:
         raise SystemExit(f"--clients must be >= 1, got {args.clients}")
+    for name in ("fault_transient", "fault_permanent", "fault_straggler",
+                 "cache_flake"):
+        v = getattr(args, name)
+        if not 0.0 <= v <= 1.0:
+            flag = "--" + name.replace("_", "-")
+            raise SystemExit(f"{flag} must be in [0, 1], got {v:g}")
+    if args.deadline is not None and args.deadline <= 0:
+        raise SystemExit(f"--deadline must be > 0, got {args.deadline:g}")
+    faults = None
+    if (args.fault_transient > 0 or args.fault_permanent > 0
+            or args.fault_straggler > 0 or args.cache_flake > 0):
+        from repro.serve.faults import FaultPlan
+
+        faults = FaultPlan(transient_rate=args.fault_transient,
+                           permanent_rate=args.fault_permanent,
+                           straggler_rate=args.fault_straggler,
+                           cache_flake_rate=args.cache_flake,
+                           seed=args.fault_seed)
     rate = float("inf") if args.arrival_rate == "inf" else None
     if rate is None:
         try:
@@ -284,7 +331,8 @@ def _cmd_serve(args) -> int:
     g = _load_graph(args.graph)
     server = Server(g, C=args.chunk, max_batch=args.max_batch,
                     max_wait=args.max_wait, cache_size=args.cache,
-                    max_pending=args.max_pending, alpha=args.alpha)
+                    max_pending=args.max_pending, alpha=args.alpha,
+                    faults=faults, serve_stale=args.serve_stale)
     pool = sample_roots(g, args.root_pool, args.seed)
     roots = sample_zipf_roots(pool, args.queries, args.zipf, seed=args.seed)
     if args.closed_loop:
@@ -294,7 +342,8 @@ def _cmd_serve(args) -> int:
     else:
         arrivals = poisson_arrivals(args.queries, rate, seed=args.seed)
         report = run_open_loop(server, roots, arrivals,
-                               semiring=args.semiring)
+                               semiring=args.semiring,
+                               deadline=args.deadline)
         mode = f"open-loop (Poisson, rate={rate:g}/s)"
     cs = server.cache.stats
     print(f"serve n={g.n} m={g.m} {mode}: {report['nqueries']} queries, "
@@ -319,6 +368,13 @@ def _cmd_serve(args) -> int:
           f"p99 {report['latency_p99_s'] * 1e3:.2f} ms (kernel path; "
           f"{report['cache_hits']} cache hits at "
           f"{report['cache_latency_p99_s'] * 1e3:g} ms)")
+    if faults is not None or args.deadline is not None or args.serve_stale:
+        print(f"resilience: {report['timeouts']} timeouts, "
+              f"{report['retries']} retries, {report['failed']} failed "
+              f"({report['failed_batches']} batches), "
+              f"{report['sheds']} shed, {report['stale_serves']} stale, "
+              f"{report['cache_flakes']} cache flakes, breaker opened "
+              f"{report['breaker_opens']}x")
     if args.verbose:
         for reason, count in sorted(server.stats.reasons.items()):
             print(f"  dispatch reason {reason}: {count}")
@@ -433,6 +489,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="naive block partition instead of work-balanced bands")
     d.add_argument("--no-slimwork", action="store_true",
                    help="disable SlimWork chunk skipping")
+    d.add_argument("--rank-failure", type=float, default=0.0,
+                   help="per-rank, per-iteration failure probability "
+                        "charged by the fault model (default: 0 = off)")
+    d.add_argument("--straggler", type=float, default=0.0,
+                   help="P(the critical-path rank straggles 4x) per "
+                        "iteration (default: 0 = off)")
+    d.add_argument("--checkpoint-interval", type=int, default=None,
+                   help="checkpoint the BFS state every K union iterations "
+                        "(default: never; recover by recomputing from root)")
+    d.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the fault-injection rng stream")
     d.add_argument("--verbose", "-v", action="store_true")
     d.set_defaults(fn=_cmd_dist)
 
@@ -470,6 +537,24 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--chunk", "-C", type=int, default=16,
                     help="chunk height C")
     sv.add_argument("--seed", type=int, default=1)
+    sv.add_argument("--fault-transient", type=float, default=0.0,
+                    help="per-attempt transient kernel-fault rate "
+                         "(retried with backoff; default: 0 = off)")
+    sv.add_argument("--fault-permanent", type=float, default=0.0,
+                    help="per-attempt permanent kernel-fault rate "
+                         "(fails the batch; default: 0 = off)")
+    sv.add_argument("--fault-straggler", type=float, default=0.0,
+                    help="P(a batch's kernel time straggles 4x)")
+    sv.add_argument("--cache-flake", type=float, default=0.0,
+                    help="P(a cache hit is dropped and re-misses)")
+    sv.add_argument("--fault-seed", type=int, default=0,
+                    help="seed of the fault-injection rng stream")
+    sv.add_argument("--deadline", type=float, default=None,
+                    help="per-query deadline in seconds (open loop only); "
+                         "late results resolve TimedOut")
+    sv.add_argument("--serve-stale", action="store_true",
+                    help="serve prior-epoch cache entries (flagged stale) "
+                         "while the circuit breaker is open")
     sv.add_argument("--verbose", "-v", action="store_true")
     sv.set_defaults(fn=_cmd_serve)
     return p

@@ -21,15 +21,23 @@ Modules
 -------
 ``partition``  1D chunk-to-rank partitions (naive blocks / work-balanced)
 ``network``    interconnect descriptors + allgather / reduce-scatter /
-               transpose cost models and the batched-frontier payload
+               transpose / checkpoint cost models and the
+               batched-frontier payload
 ``bfs1d``      1D row decomposition (frontier allgather over all ranks)
 ``bfs2d``      2D (R, C) grid decomposition (column allgather + row
                reduce-scatter, optional direction-optimizing transpose)
+``faults``     seed-deterministic rank-failure/straggler injection with
+               checkpoint-interval vs recompute-from-root recovery cost
 ``result``     per-iteration profile and result containers
 """
 
 from repro.dist.bfs1d import bfs_dist_1d
 from repro.dist.bfs2d import bfs_dist_2d
+from repro.dist.faults import (
+    DistFaultInjector,
+    DistFaultModel,
+    apply_dist_faults,
+)
 from repro.dist.network import (
     CRAY_ARIES,
     ETHERNET_10G,
@@ -38,6 +46,7 @@ from repro.dist.network import (
     batched_frontier_bytes,
     get_network,
     model_allgather,
+    model_checkpoint,
     model_reduce_scatter,
     model_transpose,
 )
@@ -55,9 +64,13 @@ __all__ = [
     "batched_frontier_bytes",
     "get_network",
     "model_allgather",
+    "model_checkpoint",
     "model_reduce_scatter",
     "model_transpose",
     "DistBatchResult",
     "DistBFSResult",
+    "DistFaultInjector",
+    "DistFaultModel",
     "DistIterationStats",
+    "apply_dist_faults",
 ]

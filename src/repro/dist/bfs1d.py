@@ -30,6 +30,11 @@ import time
 
 import numpy as np
 
+from repro.dist.faults import (
+    DistFaultInjector,
+    DistFaultModel,
+    faulted_profile,
+)
 from repro.dist.network import (
     Network,
     batched_frontier_bytes,
@@ -101,6 +106,7 @@ def bfs_dist_1d(
     slimwork: bool = True,
     batch: int | None = None,
     overlap: float = 0.0,
+    faults: DistFaultModel | DistFaultInjector | None = None,
 ) -> DistBFSResult | DistBatchResult:
     """Simulate a 1D-distributed BFS-SpMV from ``root`` (original ids).
 
@@ -127,6 +133,12 @@ def bfs_dist_1d(
     overlap:
         Fraction (0..1) of each collective hidden behind the local SpMV;
         0 is the bulk-synchronous seed model.
+    faults:
+        A :class:`~repro.dist.faults.DistFaultModel` (or a prebuilt
+        injector) charging rank failures, stragglers, and
+        checkpoint/recovery into the per-iteration ``t_fault_s``.
+        ``None`` (default) charges nothing and creates no rng — modeled
+        times are bit-identical to the fault-free model.
 
     Returns
     -------
@@ -143,11 +155,19 @@ def bfs_dist_1d(
             f"representation has {rep.nc}; the partition must cover every chunk")
     overlap = check_overlap(overlap)
     method = "dist-1d" + ("+slimwork" if slimwork else "")
+    # One injector for the whole call: a batched sweep's groups draw from
+    # the same evolving stream instead of replaying the seed per group.
+    injector = (faults if faults is None or isinstance(faults,
+                                                       DistFaultInjector)
+                else DistFaultInjector(faults))
     if np.ndim(root) != 0:
         return simulate_batched(
             rep, root, batch=batch, slimwork=slimwork,
-            profile=lambda schedule: _profile_1d(
-                rep, partition, machine, network, slimwork, overlap, schedule),
+            profile=lambda schedule: faulted_profile(
+                _profile_1d(rep, partition, machine, network, slimwork,
+                            overlap, schedule),
+                injector, ranks=partition.ranks, network=network,
+                nwords=rep.N, bytes_per_word=BYTES_PER_WORD),
             method=method, ranks=partition.ranks, machine=machine.name,
             network=network.name, overlap=overlap)
     if batch is not None and batch != 1:
@@ -163,8 +183,11 @@ def bfs_dist_1d(
          active_chunk_mask(levels, rep.nc, rep.C, it.k, slimwork))
         for it in res.iterations
     ]
-    iterations = _profile_1d(rep, partition, machine, network, slimwork,
-                             overlap, schedule)
+    iterations = faulted_profile(
+        _profile_1d(rep, partition, machine, network, slimwork, overlap,
+                    schedule),
+        injector, ranks=partition.ranks, network=network, nwords=rep.N,
+        bytes_per_word=BYTES_PER_WORD)
 
     return DistBFSResult(
         dist=res.dist, root=root, method=method, ranks=partition.ranks,

@@ -37,6 +37,11 @@ import time
 
 import numpy as np
 
+from repro.dist.faults import (
+    DistFaultInjector,
+    DistFaultModel,
+    faulted_profile,
+)
 from repro.dist.network import (
     Network,
     batched_frontier_bytes,
@@ -171,6 +176,7 @@ def bfs_dist_2d(
     batch: int | None = None,
     overlap: float = 0.0,
     transpose: bool = False,
+    faults: DistFaultModel | DistFaultInjector | None = None,
 ) -> DistBFSResult | DistBatchResult:
     """Simulate a 2D-distributed BFS-SpMV on an ``(R, C)`` process grid.
 
@@ -198,6 +204,11 @@ def bfs_dist_2d(
     transpose:
         Charge the direction-optimizing variant's frontier transpose (rank
         (i, j) ↔ (j, i) segment swap) on top of the two collectives.
+    faults:
+        A :class:`~repro.dist.faults.DistFaultModel` (or a prebuilt
+        injector) charging rank failures, stragglers, and
+        checkpoint/recovery into ``t_fault_s``; ``None`` charges nothing
+        (bit-identical to the fault-free model).
 
     Returns
     -------
@@ -211,12 +222,18 @@ def bfs_dist_2d(
         raise ValueError(f"grid dimensions must be >= 1, got {grid!r}")
     overlap = check_overlap(overlap)
     method = "dist-2d" + ("+slimwork" if slimwork else "")
+    # One injector for the whole call (see bfs_dist_1d).
+    injector = (faults if faults is None or isinstance(faults,
+                                                       DistFaultInjector)
+                else DistFaultInjector(faults))
     if np.ndim(root) != 0:
         g2d = _Grid2D(rep, grid, network, transpose)
         return simulate_batched(
             rep, root, batch=batch, slimwork=slimwork,
-            profile=lambda schedule: _profile_2d(
-                rep, g2d, machine, slimwork, overlap, schedule),
+            profile=lambda schedule: faulted_profile(
+                _profile_2d(rep, g2d, machine, slimwork, overlap, schedule),
+                injector, ranks=g2d.ranks, network=network, nwords=rep.N,
+                bytes_per_word=BYTES_PER_WORD),
             method=method, ranks=g2d.ranks, machine=machine.name,
             network=network.name, overlap=overlap)
     if batch is not None and batch != 1:
@@ -233,7 +250,10 @@ def bfs_dist_2d(
          active_chunk_mask(levels, rep.nc, rep.C, it.k, slimwork))
         for it in res.iterations
     ]
-    iterations = _profile_2d(rep, g2d, machine, slimwork, overlap, schedule)
+    iterations = faulted_profile(
+        _profile_2d(rep, g2d, machine, slimwork, overlap, schedule),
+        injector, ranks=g2d.ranks, network=network, nwords=rep.N,
+        bytes_per_word=BYTES_PER_WORD)
     return DistBFSResult(
         dist=res.dist, root=root, method=method, ranks=g2d.ranks,
         machine=machine.name, network=network.name, iterations=iterations,

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 __all__ = ["Network", "NETWORKS", "CRAY_ARIES", "ETHERNET_10G",
            "model_allgather", "model_reduce_scatter", "model_transpose",
-           "batched_frontier_bytes", "get_network"]
+           "model_checkpoint", "batched_frontier_bytes", "get_network"]
 
 
 @dataclass(frozen=True)
@@ -121,6 +121,21 @@ def model_transpose(network: Network, nbytes: int | float) -> float:
     2D BFS: rank (i, j) exchanges its ``nbytes``-byte result segment with
     rank (j, i) pairwise (one hop, full segment at line rate) so the merged
     result can serve as the next iteration's column frontier under Aᵀ.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes == 0:
+        return 0.0
+    return network.latency_s + nbytes / (network.bandwidth_gbs * 1e9)
+
+
+def model_checkpoint(network: Network, nbytes: int | float) -> float:
+    """Modeled seconds to write (or read back) an ``nbytes`` checkpoint.
+
+    The resilience model's stable-store term: each rank streams its BFS
+    state segment (frontier/levels payload) to a remote checkpoint store
+    at NIC line rate, one α to open the channel.  The same cost is
+    charged for the read-back during recovery.  Zero bytes are free.
     """
     if nbytes < 0:
         raise ValueError(f"nbytes must be >= 0, got {nbytes}")

@@ -62,6 +62,11 @@ class DistIterationStats:
     comm_latency_s:
         The α (per-hop latency) share of ``t_comm_s`` — the term a batch
         amortizes by paying each collective once per layer.
+    t_fault_s:
+        Modeled resilience overhead charged to this iteration by a
+        :class:`~repro.dist.faults.DistFaultModel`: straggler slowdown,
+        checkpoint writes, and recovery (checkpoint read-back + replayed
+        layers) after a rank failure.  0.0 without a fault model.
     """
 
     k: int
@@ -75,6 +80,7 @@ class DistIterationStats:
     width: int = 1
     overlap: float = 0.0
     comm_latency_s: float = 0.0
+    t_fault_s: float = 0.0
 
     @property
     def t_comm_visible_s(self) -> float:
@@ -89,9 +95,19 @@ class DistIterationStats:
         return self.t_comm_s - hidden
 
     @property
-    def t_total_s(self) -> float:
-        """Modeled iteration time: compute barrier + exposed collective."""
+    def t_base_s(self) -> float:
+        """Fault-free iteration time: compute barrier + exposed collective.
+
+        The quantity a recovery replays (re-executing a layer repeats its
+        compute and collectives, not the one-off fault charge that caused
+        the replay).
+        """
         return self.t_local_s + self.t_comm_visible_s
+
+    @property
+    def t_total_s(self) -> float:
+        """Modeled iteration time: compute + exposed comm + fault overhead."""
+        return self.t_base_s + self.t_fault_s
 
 
 @dataclass
@@ -152,6 +168,11 @@ class DistBFSResult:
         if total <= 0.0:
             return 0.0
         return float(sum(it.t_comm_visible_s for it in self.iterations)) / total
+
+    @property
+    def fault_overhead_s(self) -> float:
+        """Σ modeled resilience overhead (0.0 without a fault model)."""
+        return float(sum(it.t_fault_s for it in self.iterations))
 
 
 @dataclass
@@ -241,6 +262,11 @@ class DistBatchResult:
         if total <= 0.0:
             return 0.0
         return float(sum(it.t_comm_visible_s for it in self.iterations)) / total
+
+    @property
+    def fault_overhead_s(self) -> float:
+        """Σ modeled resilience overhead (0.0 without a fault model)."""
+        return float(sum(it.t_fault_s for it in self.iterations))
 
 
 # ----------------------------------------------------------------------

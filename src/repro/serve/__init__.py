@@ -30,6 +30,14 @@ single-root queries.  This subsystem is the layer between the two:
   arrivals, Zipfian roots) generators driving the server on a virtual
   arrival clock.
 
+* :mod:`~repro.serve.faults` — the failure surface: seed-driven
+  :class:`~repro.serve.faults.FaultPlan` /
+  :class:`~repro.serve.faults.FaultInjector` (kernel exceptions,
+  stragglers, cache flakiness on the virtual clock) and the
+  :class:`~repro.serve.faults.CircuitBreaker` behind graceful
+  degradation — per-query deadlines (``TimedOut``), batch-level retry
+  with exponential backoff, load shedding, and stale serves.
+
 Served answers are bit-identical to direct engine calls — the serving
 path is registered in the cross-engine differential oracle
 (``tests/engines.py``) next to the engines themselves.
@@ -38,8 +46,23 @@ path is registered in the cross-engine differential oracle
 from repro.serve.batcher import Batch, QueryBatcher
 from repro.serve.cache import CacheStats, ResultCache, graph_fingerprint
 from repro.serve.engines import EnginePool, default_strategy
+from repro.serve.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    KernelFault,
+    PermanentKernelFault,
+    TransientKernelFault,
+)
 from repro.serve.mshr import MissStatusRegistry, MSHREntry, MSHRStats
-from repro.serve.query import Query, QueryResult, Rejected, Ticket
+from repro.serve.query import (
+    Failed,
+    Query,
+    QueryResult,
+    Rejected,
+    Ticket,
+    TimedOut,
+)
 from repro.serve.server import AsyncServer, ServeStats, Server
 from repro.serve.workload import (
     poisson_arrivals,
@@ -53,10 +76,16 @@ __all__ = [
     "AsyncServer",
     "Batch",
     "CacheStats",
+    "CircuitBreaker",
     "EnginePool",
+    "Failed",
+    "FaultInjector",
+    "FaultPlan",
+    "KernelFault",
     "MSHREntry",
     "MSHRStats",
     "MissStatusRegistry",
+    "PermanentKernelFault",
     "Query",
     "QueryBatcher",
     "QueryResult",
@@ -65,6 +94,8 @@ __all__ = [
     "ServeStats",
     "Server",
     "Ticket",
+    "TimedOut",
+    "TransientKernelFault",
     "default_strategy",
     "graph_fingerprint",
     "poisson_arrivals",

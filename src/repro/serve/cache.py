@@ -99,6 +99,11 @@ class ResultCache:
     capacity: int = 1024
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    #: ``(semiring, root)`` → full key of the *newest* cached entry for
+    #: that root, across epochs — the stale-serve index: when the circuit
+    #: breaker is open, :meth:`peek_stale` answers from a prior epoch's
+    #: entry (flagged ``stale=True``) instead of failing outright.
+    _newest: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
         if self.capacity < 0:
@@ -139,6 +144,26 @@ class ResultCache:
         """Count one lookup whose query backpressure then refused."""
         self.stats.rejected_lookups += 1
 
+    def peek_stale(self, semiring: str, root: int,
+                   epoch: int) -> tuple[tuple[int, str, int],
+                                        BFSResult] | None:
+        """The newest cached entry for ``(semiring, root)`` from an epoch
+        *before* ``epoch``, or None.
+
+        The graceful-degradation read: current-epoch entries are the
+        normal hit path and deliberately excluded — a stale serve means
+        "here is the answer from before the last invalidation", never a
+        second name for a fresh hit.  Does not refresh recency (stale
+        entries should not outlive hot fresh ones on degraded traffic).
+        """
+        key = self._newest.get((semiring, root))
+        if key is None or key[0] >= epoch:
+            return None
+        res = self._entries.get(key)
+        if res is None:
+            return None
+        return key, res
+
     def put(self, key: tuple[int, str, int], result: BFSResult) -> None:
         """Insert (or refresh) ``key``, evicting LRU entries past capacity."""
         if self.capacity == 0:
@@ -147,10 +172,26 @@ class ResultCache:
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = result
+        epoch, semiring, root = key
+        newest = self._newest.get((semiring, root))
+        if newest is None or epoch >= newest[0]:
+            self._newest[(semiring, root)] = key
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            old_key, _ = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            _, s, r = old_key
+            if self._newest.get((s, r)) == old_key:
+                del self._newest[(s, r)]
 
-    def clear(self) -> None:
-        """Drop every entry (stats are preserved)."""
+    def clear(self, keep_stale: bool = False) -> None:
+        """Drop every entry (stats are preserved).
+
+        With ``keep_stale=True`` (a server configured to serve stale
+        results across invalidations) the entries — and the index
+        :meth:`peek_stale` reads — survive; they are unreachable through
+        normal epoch-keyed lookups either way.
+        """
+        if keep_stale:
+            return
         self._entries.clear()
+        self._newest.clear()

@@ -1,0 +1,245 @@
+"""Deterministic fault injection and the circuit breaker of the serving tier.
+
+A production traffic tier is defined as much by what it does when things
+break as by its steady state, so the failure model is a first-class,
+*seed-driven* component: every fault decision comes from one
+``numpy.random.default_rng(seed)`` stream whose draw order depends only on
+the event sequence (batch attempts, cache reads) — never on measured wall
+time — so a workload replayed on the virtual clock injects exactly the
+same faults on every run.  That determinism is what lets the resilience
+benchmark commit goodput/timeout/retry curves as exact, timing-free
+regression baselines.
+
+Three pieces:
+
+* :class:`FaultPlan` — the declarative failure model: rates for transient
+  and permanent kernel exceptions, straggler batches (a latency
+  multiplier on the modeled kernel time), and cache flakiness (a read
+  that spuriously misses), plus the seed.
+* :class:`FaultInjector` — the stateful sampler the
+  :class:`~repro.serve.server.Server` consults around ``_run_batch``:
+  one draw per batch attempt (:meth:`kernel_fault`), one per successful
+  attempt (:meth:`straggler`), one per cache read — only when flakiness
+  is enabled — (:meth:`cache_flaky`).  Subclass it to script exact fault
+  sequences in tests.
+* :class:`CircuitBreaker` — the graceful-degradation policy: consecutive
+  batch failures trip it ``open`` (the server sheds kernel-path load
+  early, shrinks ``max_batch``, and may serve stale cache entries); after
+  a modeled cooldown it goes ``half-open`` and lets a trial batch
+  through; a success closes it again.
+
+Injected kernel faults are modeled exceptions —
+:class:`TransientKernelFault` (retryable: the server re-dispatches the
+*whole* batch with exponential backoff, so all coalesced MSHR waiters
+ride one retry, never a per-waiter storm) and
+:class:`PermanentKernelFault` (not retryable: every waiter resolves to a
+:class:`~repro.serve.query.Failed` result).  Real engine exceptions take
+the same invariant-restoring failure path and then re-raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "KernelFault",
+    "PermanentKernelFault",
+    "TransientKernelFault",
+]
+
+
+class KernelFault(Exception):
+    """Base of the injected kernel-exception hierarchy."""
+
+
+class TransientKernelFault(KernelFault):
+    """A kernel failure that a bounded batch-level retry may outlive."""
+
+
+class PermanentKernelFault(KernelFault):
+    """A kernel failure no retry can fix: the batch resolves ``Failed``."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seed-driven failure model for one server run.
+
+    Rates are per-draw probabilities: ``transient_rate`` and
+    ``permanent_rate`` apply to every batch *attempt* (retries re-draw),
+    ``straggler_rate`` to every successful attempt, ``cache_flake_rate``
+    to every cache read (drawn only when nonzero, so kernel-fault-only
+    plans keep their draw sequence regardless of hit traffic).
+    """
+
+    #: P(batch attempt raises :class:`TransientKernelFault`).
+    transient_rate: float = 0.0
+    #: P(batch attempt raises :class:`PermanentKernelFault`).
+    permanent_rate: float = 0.0
+    #: P(successful attempt is a straggler).
+    straggler_rate: float = 0.0
+    #: Kernel-time multiplier of a straggler batch (>= 1).
+    straggler_factor: float = 4.0
+    #: P(a cache read spuriously misses and the root is recomputed).
+    cache_flake_rate: float = 0.0
+    #: Seed of the single rng stream behind every decision.
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("transient_rate", "permanent_rate", "straggler_rate",
+                     "cache_flake_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.transient_rate + self.permanent_rate > 1.0:
+            raise ValueError(
+                "transient_rate + permanent_rate must be <= 1, got "
+                f"{self.transient_rate + self.permanent_rate}")
+        if self.straggler_factor < 1.0:
+            raise ValueError(f"straggler_factor must be >= 1, "
+                             f"got {self.straggler_factor}")
+
+
+@dataclass
+class FaultStats:
+    """Lifetime counters of one :class:`FaultInjector`."""
+
+    #: Transient kernel faults injected (each triggers one batch retry
+    #: attempt, until the server's retry budget runs out).
+    transient: int = 0
+    #: Permanent kernel faults injected (each fails its batch outright).
+    permanent: int = 0
+    #: Straggler batches injected (kernel time multiplied).
+    stragglers: int = 0
+    #: Cache reads forced to miss.
+    cache_flakes: int = 0
+
+
+class FaultInjector:
+    """Samples the :class:`FaultPlan` with one deterministic rng stream.
+
+    The server consults it at three seams; each consults the stream in a
+    fixed order, so two runs with the same plan and the same event
+    sequence inject identical faults.  Tests that need exact fault
+    scripts subclass it and override the three decision methods.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.stats = FaultStats()
+
+    def kernel_fault(self) -> None:
+        """One draw per batch attempt: raise the injected kernel fault,
+        if any.  Permanent faults claim the low end of the unit interval
+        so the two rates never overlap."""
+        plan = self.plan
+        if plan.transient_rate == 0.0 and plan.permanent_rate == 0.0:
+            return
+        u = self.rng.random()
+        if u < plan.permanent_rate:
+            self.stats.permanent += 1
+            raise PermanentKernelFault("injected permanent kernel fault")
+        if u < plan.permanent_rate + plan.transient_rate:
+            self.stats.transient += 1
+            raise TransientKernelFault("injected transient kernel fault")
+
+    def straggler(self) -> float:
+        """Kernel-time multiplier of one successful attempt (1.0 = none)."""
+        plan = self.plan
+        if plan.straggler_rate == 0.0:
+            return 1.0
+        if self.rng.random() < plan.straggler_rate:
+            self.stats.stragglers += 1
+            return plan.straggler_factor
+        return 1.0
+
+    def cache_flaky(self) -> bool:
+        """Whether this cache read spuriously misses.  Draws from the
+        stream only when flakiness is enabled, so plans without it keep
+        their fault sequence independent of cache-hit traffic."""
+        plan = self.plan
+        if plan.cache_flake_rate == 0.0:
+            return False
+        if self.rng.random() < plan.cache_flake_rate:
+            self.stats.cache_flakes += 1
+            return True
+        return False
+
+
+#: Breaker states, in escalation order.
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure breaker over modeled (virtual-clock) time.
+
+    ``closed`` is the healthy state.  ``failure_threshold`` consecutive
+    batch failures — or any failure while ``half-open`` — trip it
+    ``open``: :meth:`allow` answers False until ``cooldown_s`` modeled
+    seconds pass, after which the breaker turns ``half-open`` and lets
+    trial traffic through.  One successful batch closes it; another
+    failure re-opens it and restarts the cooldown.  The owner decides
+    what "not allowed" means (the server sheds kernel-path queries early
+    and may serve stale cache entries instead of failing outright).
+    """
+
+    #: Consecutive batch failures that trip the breaker open.
+    failure_threshold: int = 4
+    #: Modeled seconds the breaker stays open before a half-open trial.
+    cooldown_s: float = 1.0
+    state: str = "closed"
+    #: Consecutive failures observed since the last success.
+    failures: int = 0
+    #: Virtual time of the transition that opened the breaker.
+    opened_at: float = field(default=float("-inf"), repr=False)
+    #: Lifetime transition counters (opens includes half-open reopens).
+    opens: int = 0
+    closes: int = 0
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, "
+                             f"got {self.failure_threshold}")
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, "
+                             f"got {self.cooldown_s}")
+
+    def allow(self, now: float) -> bool:
+        """Whether new kernel-path work may enter at virtual time ``now``.
+
+        Flips ``open`` → ``half-open`` once the cooldown has elapsed, so
+        the first query after it is the trial.
+        """
+        if self.state == "open":
+            if now - self.opened_at >= self.cooldown_s:
+                self.state = "half-open"
+        return self.state != "open"
+
+    def record_failure(self, now: float) -> bool:
+        """Account one batch failure at ``now``; True if this opened
+        (or re-opened) the breaker."""
+        self.failures += 1
+        if self.state == "half-open" or (
+                self.state == "closed"
+                and self.failures >= self.failure_threshold):
+            self.state = "open"
+            self.opened_at = now
+            self.opens += 1
+            return True
+        return False
+
+    def record_success(self) -> bool:
+        """Account one successful batch; True if this closed the breaker."""
+        self.failures = 0
+        if self.state != "closed":
+            self.state = "closed"
+            self.closes += 1
+            return True
+        return False

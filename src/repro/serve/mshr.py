@@ -37,7 +37,7 @@ epochs at commit time instead of publishing them (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bfs.result import BFSResult
 from repro.serve.query import Ticket
@@ -95,6 +95,9 @@ class MSHRStats:
     inflight_hits: int = 0
     #: Entries retired at commit time.
     retired: int = 0
+    #: Entries removed because their batch failed (kernel fault or real
+    #: exception): their waiters resolved ``Failed``; nothing published.
+    aborted: int = 0
 
     @property
     def hits(self) -> int:
@@ -155,6 +158,18 @@ class MissStatusRegistry:
         entry.completion = completion
         entry.batch_width = batch_width
         entry.engine = engine
+
+    def abort(self, entry: MSHREntry) -> None:
+        """Remove a live entry whose batch failed.
+
+        The owner has already resolved every waiter (``Failed``); the
+        entry must leave the table so a later query on the same key can
+        allocate a fresh miss instead of attaching to a dead one —
+        nothing is ever published from an aborted entry.
+        """
+        if self._entries.get(entry.key) is entry:
+            del self._entries[entry.key]
+            self.stats.aborted += 1
 
     def take_due(self, now: float) -> list[MSHREntry]:
         """Pop every in-flight entry whose completion time has passed.

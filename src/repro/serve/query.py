@@ -28,7 +28,15 @@ from repro.bfs.result import BFSResult
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime only
     from repro.serve.mshr import MSHREntry
 
-__all__ = ["KINDS", "Query", "QueryResult", "Rejected", "Ticket"]
+__all__ = [
+    "KINDS",
+    "Failed",
+    "Query",
+    "QueryResult",
+    "Rejected",
+    "Ticket",
+    "TimedOut",
+]
 
 #: Supported query kinds, in documentation order.
 KINDS = ("distances", "reachability", "validate")
@@ -62,7 +70,8 @@ class QueryResult:
     """The resolved answer to one query, with serving provenance."""
 
     query: Query
-    #: ``"served"`` or ``"rejected"`` (backpressure).
+    #: ``"served"``, ``"rejected"`` (backpressure or load shedding),
+    #: ``"timeout"`` (missed its deadline), or ``"failed"`` (kernel fault).
     status: str
     #: Kind-specific answer: the :class:`BFSResult` (distances), a bool
     #: (reachability / validate), or ``None`` for a rejection.
@@ -85,17 +94,50 @@ class QueryResult:
     engine: str = ""
     #: Submit-to-completion seconds (queue wait + kernel share).
     latency_s: float = 0.0
+    #: Answered from a prior-epoch cache entry while the circuit breaker
+    #: was open (graceful degradation: possibly outdated, never wrong for
+    #: the epoch it was computed in).
+    stale: bool = False
 
 
 class Rejected(QueryResult):
-    """Explicit backpressure result: the pending queue was full.
+    """Explicit refusal: the query never reached a kernel.
 
-    A distinct type (``isinstance(result, Rejected)``) so clients can
-    branch on overload without string-matching ``status``.
+    ``reason`` says why: ``"backpressure"`` (the pending queue was full)
+    or ``"shed"`` (the circuit breaker was open and no stale cache entry
+    could stand in).  A distinct type (``isinstance(result, Rejected)``)
+    so clients can branch on overload without string-matching ``status``.
     """
 
-    def __init__(self, query: Query):
+    def __init__(self, query: Query, reason: str = "backpressure"):
         super().__init__(query=query, status="rejected")
+        self.reason = reason
+
+
+class TimedOut(QueryResult):
+    """The answer arrived after the query's ``deadline=`` expired.
+
+    The traversal still ran (and is cache-visible for later queries);
+    only *this* ticket's answer was too late to be useful.  ``latency_s``
+    records when the answer would have arrived.
+    """
+
+    def __init__(self, query: Query, latency_s: float = 0.0):
+        super().__init__(query=query, status="timeout", latency_s=latency_s)
+
+
+class Failed(QueryResult):
+    """The answering batch failed (injected or real kernel exception).
+
+    Every waiter coalesced onto the failed traversal resolves to one of
+    these; nothing is published to the cache.  ``error`` carries the
+    exception message.
+    """
+
+    def __init__(self, query: Query, error: str = "",
+                 latency_s: float = 0.0):
+        super().__init__(query=query, status="failed", latency_s=latency_s)
+        self.error = error
 
 
 @dataclass
@@ -106,11 +148,23 @@ class Ticket:
     rejected on entry).  :meth:`result` is the blocking-free accessor: it
     raises if the ticket is still pending — call ``Server.drain()`` (or
     await the asyncio front-end) to force completion.
+
+    **Resolve-exactly-once contract.**  Every ticket the server accepts is
+    resolved exactly once, by exactly one of: the cache-hit fast path, a
+    rejection on entry (backpressure or breaker shed), a stale serve, or
+    its batch's completion fan-out (served / timeout / failed — including
+    batches that fail).  :meth:`_resolve` enforces the "at most once" half
+    by raising on a second call; the server's dispatch paths provide the
+    "at least once" half, which the chaos property test pins.
     """
 
     query: Query
     #: Virtual/real submit timestamp (the server's clock domain).
     submitted_at: float = 0.0
+    #: Absolute virtual time after which the answer is useless (None =
+    #: no deadline).  Checked at batch completion: an answer landing
+    #: later resolves :class:`TimedOut`.
+    deadline_at: float | None = None
     #: The outstanding-miss entry this ticket waits on (set by the
     #: server's MSHR when the ticket allocates or attaches; None for
     #: cache hits and rejections).
@@ -132,7 +186,8 @@ class Ticket:
         if self._result is None:
             raise RuntimeError(
                 f"query {self.query} is still pending; drain() the server "
-                "(or raise max_wait pressure) before reading results")
+                "(or advance the clock past the batch deadline) before "
+                "reading results")
         return self._result
 
     def _resolve(self, result: QueryResult) -> None:

@@ -39,6 +39,17 @@ timers and per-query awaitable futures on top.
 Service is modeled FIFO: a batch dispatched while a previous batch is
 still "running" (in virtual time) starts after it, so open-loop latencies
 include queueing delay, not just batching delay.
+
+The failure surface is first-class (:mod:`repro.serve.faults`): a
+seed-driven ``faults=`` plan injects kernel exceptions, stragglers, and
+cache flakiness; per-query ``deadline=`` turns late answers into
+:class:`~repro.serve.query.TimedOut`; transient faults are retried at
+*batch* granularity with exponential backoff (all coalesced waiters ride
+one retry); and a :class:`~repro.serve.faults.CircuitBreaker` degrades
+gracefully under sustained failures — shedding kernel-path load,
+halving ``max_batch``, optionally serving prior-epoch cache entries
+flagged ``stale=True``.  With ``faults=None`` and no deadlines none of
+this machinery runs: behavior is bit-identical to the fault-free server.
 """
 
 from __future__ import annotations
@@ -57,8 +68,22 @@ from repro.semirings.base import get_semiring
 from repro.serve.batcher import Batch, QueryBatcher
 from repro.serve.cache import ResultCache, graph_fingerprint
 from repro.serve.engines import DEFAULT_HYBRID_MAX_WIDTH, EnginePool
+from repro.serve.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    PermanentKernelFault,
+    TransientKernelFault,
+)
 from repro.serve.mshr import MissStatusRegistry, MSHREntry
-from repro.serve.query import Query, QueryResult, Rejected, Ticket
+from repro.serve.query import (
+    Failed,
+    Query,
+    QueryResult,
+    Rejected,
+    Ticket,
+    TimedOut,
+)
 
 __all__ = ["AsyncServer", "ServeStats", "Server"]
 
@@ -88,6 +113,27 @@ class ServeStats:
     #: separate population (identically 0.0 on the virtual clock), so
     #: kernel percentiles are not diluted by hits under Zipf skew.
     cache_latencies: list[float] = field(default_factory=list)
+    # Resilience accounting (all zero with faults=None and no deadlines).
+    #: Queries whose answer arrived after their ``deadline=``.
+    timeouts: int = 0
+    #: Batch re-dispatches after transient kernel faults (one per retry
+    #: attempt, *not* per waiter: a retried batch carries all of them).
+    retries: int = 0
+    #: Queries resolved :class:`~repro.serve.query.Failed`.
+    failed: int = 0
+    #: Batches whose every attempt faulted (or whose engine raised).
+    failed_batches: int = 0
+    #: Queries shed at submit because the circuit breaker was open and no
+    #: stale cache entry could stand in.
+    sheds: int = 0
+    #: Queries answered from a prior-epoch cache entry (``stale=True``)
+    #: while the breaker was open.
+    stale_serves: int = 0
+    #: Cache hits the fault plan turned into misses (flaky reads).
+    cache_flakes: int = 0
+    #: Circuit-breaker transitions.
+    breaker_opens: int = 0
+    breaker_closes: int = 0
 
     @property
     def mean_batch_width(self) -> float:
@@ -130,6 +176,15 @@ class ServeStats:
             "latency_p99_s": self.latency_percentile(99),
             "cache_latency_p50_s": self.cache_latency_percentile(50),
             "cache_latency_p99_s": self.cache_latency_percentile(99),
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "failed": self.failed,
+            "failed_batches": self.failed_batches,
+            "sheds": self.sheds,
+            "stale_serves": self.stale_serves,
+            "cache_flakes": self.cache_flakes,
+            "breaker_opens": self.breaker_opens,
+            "breaker_closes": self.breaker_closes,
         }
 
 
@@ -161,6 +216,38 @@ class Server:
     clock:
         The time source for defaulted ``now`` values
         (``time.perf_counter``); injectable for deterministic tests.
+    faults:
+        A :class:`~repro.serve.faults.FaultPlan` (or a prebuilt — possibly
+        scripted — :class:`~repro.serve.faults.FaultInjector`) injecting
+        kernel faults, stragglers, and cache flakiness around
+        ``_run_batch``.  ``None`` (default) = no injection and *no rng is
+        ever created*: the fault-free server is bit-identical to one that
+        predates the fault layer.
+    max_retries:
+        Batch re-dispatches allowed after transient kernel faults before
+        the batch fails.  One retry re-dispatches *all* coalesced MSHR
+        waiters together — never a per-waiter retry storm.
+    retry_backoff:
+        Base of the exponential backoff charged to the virtual timeline
+        per retry (attempt ``k`` adds ``retry_backoff * 2**k`` modeled
+        seconds).
+    breaker:
+        The :class:`~repro.serve.faults.CircuitBreaker` degrading service
+        under sustained batch failures (opens after its
+        ``failure_threshold``: sheds kernel-path load, halves
+        ``max_batch``, optionally serves stale).  Pass a configured
+        instance to tune thresholds; the default never acts unless
+        batches actually fail.
+    serve_stale:
+        While the breaker is open, answer shed queries from prior-epoch
+        cache entries (flagged ``stale=True``) when one exists, instead
+        of rejecting; also keeps cache entries across
+        :meth:`invalidate` so there is something stale to serve.
+    service_model:
+        Optional ``width -> seconds`` callable replacing the *measured*
+        kernel time on the virtual timeline (the engine still runs for
+        real answers).  Makes completion times — hence timeouts, breaker
+        cooldowns, goodput — deterministic for tests and benchmarks.
     """
 
     def __init__(self, graph_or_rep: Graph | SellCSigma, *, C: int = 16,
@@ -170,10 +257,25 @@ class Server:
                  slimwork: bool = True,
                  strategy: Callable[[int], str] | None = None,
                  hybrid_max_width: int = DEFAULT_HYBRID_MAX_WIDTH,
-                 clock: Callable[[], float] = time.perf_counter):
+                 clock: Callable[[], float] = time.perf_counter,
+                 faults: FaultPlan | FaultInjector | None = None,
+                 max_retries: int = 2, retry_backoff: float = 1e-3,
+                 breaker: CircuitBreaker | None = None,
+                 serve_stale: bool = False,
+                 service_model: Callable[[int], float] | None = None):
         if max_pending is not None and max_pending < 1:
             raise ValueError(
                 f"max_pending must be >= 1 or None, got {max_pending}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be > 0, got {alpha}")
+        if hybrid_max_width < 1:
+            raise ValueError(
+                f"hybrid_max_width must be >= 1, got {hybrid_max_width}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}")
         self.rep = build_rep(graph_or_rep, C, sigma, slim=True)
         self.graph = self.rep.graph_original
         self.batcher = QueryBatcher(max_batch=max_batch, max_wait=max_wait)
@@ -185,6 +287,18 @@ class Server:
         self.max_pending = max_pending
         self.clock = clock
         self.stats = ServeStats()
+        #: The fault sampler (None = fault-free: no rng exists at all).
+        self.faults: FaultInjector | None = (
+            FaultInjector(faults) if isinstance(faults, FaultPlan)
+            else faults)
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.serve_stale = serve_stale
+        self.service_model = service_model
+        #: The configured width trigger, restored when the breaker closes
+        #: (opens halve ``batcher.max_batch`` to drain faster).
+        self._configured_max_batch = max_batch
         #: Monotonic invalidation counter: the first component of every
         #: cache/MSHR key.  Bumped by :meth:`invalidate`.
         self.epoch = 0
@@ -244,27 +358,41 @@ class Server:
         """
         self.epoch += 1
         self._fingerprint = None
-        self.cache.clear()
+        # A stale-serving server keeps the old entries: unreachable
+        # through epoch-keyed lookups, but peek_stale can degrade to them
+        # while the breaker is open.
+        self.cache.clear(keep_stale=self.serve_stale)
         self._validated.clear()
         return self.epoch
 
     # ------------------------------------------------------------------
     def submit(self, root: int, *, kind: str = "distances",
                semiring: str = "sel-max", target: int | None = None,
-               now: float | None = None) -> Ticket:
+               now: float | None = None,
+               deadline: float | None = None) -> Ticket:
         """Submit one query; returns its :class:`Ticket`.
 
-        Resolution order: cache hit (immediate), MSHR attach (shares the
-        outstanding traversal — immediate if that batch already
-        dispatched, else resolved at its dispatch), backpressure
-        rejection (immediate, explicit :class:`Rejected` result — only
-        for queries needing a new frontier column), else enqueue — the
-        ticket resolves when its batch dispatches (possibly within this
-        very call, if it fills a batch or a deadline is due).
+        Resolution order: cache hit (immediate; a fault plan with cache
+        flakiness may spuriously turn it into a miss), MSHR attach
+        (shares the outstanding traversal — immediate if that batch
+        already dispatched, else resolved at its dispatch), breaker shed
+        (while the circuit breaker is open a kernel-path query is
+        answered from a prior-epoch cache entry flagged ``stale=True``
+        when ``serve_stale`` allows, else rejected with reason
+        ``"shed"``), backpressure rejection (immediate, explicit
+        :class:`Rejected` result — only for queries needing a new
+        frontier column), else enqueue — the ticket resolves when its
+        batch dispatches (possibly within this very call, if it fills a
+        batch or a deadline is due).
+
+        ``deadline`` (seconds from ``now``) marks the answer useless
+        after ``now + deadline``: a batch completing later resolves the
+        ticket :class:`TimedOut` instead of served.  The traversal still
+        runs and is cached for future queries.
 
         Invalid input — unknown kind/semiring, out-of-range root or
-        target — raises :class:`ValueError` (a client error, not
-        backpressure).
+        target, non-positive deadline — raises :class:`ValueError` (a
+        client error, not backpressure).
         """
         query = Query(root=int(root), kind=kind, semiring=semiring,
                       target=None if target is None else int(target))
@@ -274,14 +402,24 @@ class Server:
             raise ValueError(f"root {query.root} out of range [0, {n})")
         if query.target is not None and not 0 <= query.target < n:
             raise ValueError(f"target {query.target} out of range [0, {n})")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
         if now is None:
             now = self.clock()
         self._commit(now)
         self.stats.submitted += 1
-        ticket = Ticket(query=query, submitted_at=now)
+        ticket = Ticket(query=query, submitted_at=now,
+                        deadline_at=None if deadline is None
+                        else now + deadline)
 
         key = (self.epoch, semiring, query.root)
         cached = self.cache.peek(key)
+        if cached is not None and self.faults is not None \
+                and self.faults.cache_flaky():
+            # Injected flaky read: the hit is spuriously invisible and
+            # the query pays the full kernel path (recompute).
+            self.stats.cache_flakes += 1
+            cached = None
         if cached is not None:
             self.cache.record_hit()
             self.stats.cache_hits += 1
@@ -297,12 +435,36 @@ class Server:
         if entry is not None:
             # Outstanding miss: attach as a waiter (zero extra kernel
             # work), *before* any backpressure check — sharing an
-            # existing column must never be rejected.
+            # existing column must never be rejected or shed.
             self.cache.record_miss()
             self.mshr.attach(entry, ticket)
             self.stats.mshr_hits += 1
             if entry.state == "inflight":
                 self._resolve_inflight(entry, ticket)
+            return ticket
+
+        if not self.breaker.allow(now):
+            # Breaker open: degrade instead of queueing doomed kernel
+            # work.  A prior-epoch cache entry (when configured) beats
+            # refusing outright; either way no new column is paid for.
+            if self.serve_stale:
+                stale = self.cache.peek_stale(semiring, query.root,
+                                              self.epoch)
+                if stale is not None:
+                    stale_key, stale_res = stale
+                    self.cache.record_hit()
+                    self.stats.stale_serves += 1
+                    self.stats.served += 1
+                    self.stats.cache_latencies.append(0.0)
+                    ticket._resolve(QueryResult(
+                        query=query, status="served",
+                        value=self._reduce(query, stale_res, stale_key),
+                        bfs=stale_res, cache_hit=True, stale=True))
+                    return ticket
+            self.cache.record_rejected_lookup()
+            self.stats.rejected += 1
+            self.stats.sheds += 1
+            ticket._resolve(Rejected(query, reason="shed"))
             return ticket
 
         if (self.max_pending is not None
@@ -352,34 +514,108 @@ class Server:
             self._run_batch(batch, now)
 
     def _run_batch(self, batch: Batch, now: float) -> list[QueryResult]:
+        """Run one released batch, under the fault plan when one is set.
+
+        The retry loop is *batch-level*: a transient kernel fault
+        re-dispatches the whole batch (all coalesced MSHR waiters ride
+        the one retry), charging ``retry_backoff * 2**attempt`` modeled
+        seconds per attempt.  A permanent fault, an exhausted retry
+        budget, or a real engine exception takes the :meth:`_fail_batch`
+        path — every waiter resolves ``Failed``, the MSHR entries are
+        aborted, and nothing is ever published to the cache (a real
+        exception then re-raises, invariants already restored).
+        """
         name, engine = self.pool.engine_for(batch.semiring, batch.width)
-        t0 = time.perf_counter()
-        results = engine.run(batch.roots)
-        kernel = time.perf_counter() - t0
         start = max(now, self._busy_until)
-        completion = start + kernel
+        delay = 0.0  # modeled seconds lost to faulted attempts
+        attempt = 0
+        while True:
+            if self.faults is not None:
+                try:
+                    self.faults.kernel_fault()
+                except PermanentKernelFault as exc:
+                    return self._fail_batch(batch, start + delay, exc)
+                except TransientKernelFault as exc:
+                    if attempt >= self.max_retries:
+                        return self._fail_batch(batch, start + delay, exc)
+                    delay += self.retry_backoff * (2.0 ** attempt)
+                    attempt += 1
+                    self.stats.retries += 1
+                    continue
+            t0 = time.perf_counter()
+            try:
+                results = engine.run(batch.roots)
+            except Exception as exc:
+                self._fail_batch(batch, start + delay, exc)
+                raise
+            kernel = time.perf_counter() - t0
+            break
+        if self.service_model is not None:
+            kernel = self.service_model(batch.width)
+        if self.faults is not None:
+            kernel *= self.faults.straggler()
+        completion = start + delay + kernel
         self._busy_until = completion
         st = self.stats
         st.batches += 1
         st.kernel_s += kernel
         st.widths.append(batch.width)
         st.reasons[batch.reason] = st.reasons.get(batch.reason, 0) + 1
+        if self.breaker.record_success():
+            st.breaker_closes += 1
+            self.batcher.max_batch = self._configured_max_batch
         out: list[QueryResult] = []
         for j, res in enumerate(results):
             entry = self._entry_for(batch, j)
             self.mshr.dispatch(entry, res, completion, batch.width, name)
             nwaiters = len(entry.waiters)
             for i, ticket in enumerate(entry.waiters):
-                qr = QueryResult(
-                    query=ticket.query, status="served",
-                    value=self._reduce(ticket.query, res, entry.key),
-                    bfs=res, mshr_hit=i > 0, waiters=nwaiters,
-                    batch_width=batch.width, engine=name,
-                    latency_s=completion - ticket.submitted_at)
+                latency = completion - ticket.submitted_at
+                if (ticket.deadline_at is not None
+                        and completion > ticket.deadline_at):
+                    # Too late to be useful for *this* ticket; the
+                    # traversal is still cached for future queries.
+                    qr = TimedOut(ticket.query, latency_s=latency)
+                    st.timeouts += 1
+                else:
+                    qr = QueryResult(
+                        query=ticket.query, status="served",
+                        value=self._reduce(ticket.query, res, entry.key),
+                        bfs=res, mshr_hit=i > 0, waiters=nwaiters,
+                        batch_width=batch.width, engine=name,
+                        latency_s=latency)
+                    st.served += 1
+                    st.latencies.append(latency)
                 ticket._resolve(qr)
-                st.served += 1
-                st.latencies.append(qr.latency_s)
                 out.append(qr)
+        return out
+
+    def _fail_batch(self, batch: Batch, completion: float,
+                    exc: BaseException) -> list[QueryResult]:
+        """Resolve a failed batch: every coalesced waiter gets ``Failed``,
+        every MSHR entry is aborted (so later queries on the same roots
+        allocate fresh misses), and the breaker accounts the failure —
+        possibly opening and degrading ``max_batch``.  Restores every
+        serving invariant, so it is safe to re-raise afterwards for real
+        engine exceptions."""
+        st = self.stats
+        st.failed_batches += 1
+        self._busy_until = max(self._busy_until, completion)
+        out: list[QueryResult] = []
+        for j in range(batch.width):
+            entry = self._entry_for(batch, j)
+            for ticket in entry.waiters:
+                qr = Failed(ticket.query, error=str(exc) or repr(exc),
+                            latency_s=completion - ticket.submitted_at)
+                ticket._resolve(qr)
+                st.failed += 1
+                out.append(qr)
+            self.mshr.abort(entry)
+        if self.breaker.record_failure(completion):
+            st.breaker_opens += 1
+            # Degrade: narrower batches fail less work per fault and
+            # drain the queue sooner; restored when the breaker closes.
+            self.batcher.max_batch = max(1, self.batcher.max_batch // 2)
         return out
 
     def _entry_for(self, batch: Batch, j: int) -> MSHREntry:
@@ -405,13 +641,20 @@ class Server:
         """Resolve a waiter that attached after its batch dispatched: the
         answer exists from the batch's virtual completion, so latency is
         completion − submit (never the impossible 0.0 of a premature
-        cache hit)."""
+        cache hit).  A deadline earlier than that completion resolves
+        :class:`TimedOut` instead."""
+        latency = entry.completion - ticket.submitted_at
+        if (ticket.deadline_at is not None
+                and entry.completion > ticket.deadline_at):
+            ticket._resolve(TimedOut(ticket.query, latency_s=latency))
+            self.stats.timeouts += 1
+            return
         qr = QueryResult(
             query=ticket.query, status="served",
             value=self._reduce(ticket.query, entry.result, entry.key),
             bfs=entry.result, mshr_hit=True, waiters=len(entry.waiters),
             batch_width=entry.batch_width, engine=entry.engine,
-            latency_s=entry.completion - ticket.submitted_at)
+            latency_s=latency)
         ticket._resolve(qr)
         self.stats.served += 1
         self.stats.latencies.append(qr.latency_s)
@@ -459,13 +702,21 @@ class AsyncServer:
 
     async def async_submit(self, root: int, *, kind: str = "distances",
                            semiring: str = "sel-max",
-                           target: int | None = None) -> QueryResult:
-        """Submit one query and await its :class:`QueryResult`."""
+                           target: int | None = None,
+                           deadline: float | None = None) -> QueryResult:
+        """Submit one query and await its :class:`QueryResult`.
+
+        ``deadline`` behaves as in :meth:`Server.submit`: an answer
+        arriving after it resolves the future to a
+        :class:`~repro.serve.query.TimedOut` result (the future itself
+        still settles at batch completion — no asyncio-level
+        cancellation is involved).
+        """
         import asyncio
 
         loop = asyncio.get_running_loop()
         ticket = self.server.submit(root, kind=kind, semiring=semiring,
-                                    target=target)
+                                    target=target, deadline=deadline)
         self._settle()
         if ticket.done:
             if self._waiters:

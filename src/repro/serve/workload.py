@@ -86,14 +86,17 @@ def poisson_arrivals(nqueries: int, rate: float, seed: int = 1) -> np.ndarray:
 
 def run_open_loop(server: Server, roots: np.ndarray, arrivals: np.ndarray,
                   *, kind: str = "distances",
-                  semiring: str = "sel-max") -> dict:
+                  semiring: str = "sel-max",
+                  deadline: float | None = None) -> dict:
     """Drive ``server`` with ``roots[i]`` arriving at ``arrivals[i]``.
 
     Arrivals must be non-decreasing.  Between consecutive arrivals the
     driver fires every batcher deadline at its due time, reproducing the
     event order of a real timer loop on the virtual clock.  All pending
     work is drained at the end (the stream is over; nothing more to wait
-    for).
+    for).  ``deadline`` (seconds, relative) is attached to every query:
+    answers arriving later resolve ``TimedOut`` and count in the
+    report's ``timeouts``.
     """
     roots = np.asarray(roots, dtype=np.int64)
     arrivals = np.asarray(arrivals, dtype=np.float64)
@@ -105,18 +108,19 @@ def run_open_loop(server: Server, roots: np.ndarray, arrivals: np.ndarray,
     before = _snapshot(server)
     tickets = []
     for root, t in zip(roots, arrivals):
-        deadline = server.batcher.next_deadline()
-        while deadline is not None and deadline <= t:
-            server.poll(now=deadline)
-            deadline = server.batcher.next_deadline()
+        due = server.batcher.next_deadline()
+        while due is not None and due <= t:
+            server.poll(now=due)
+            due = server.batcher.next_deadline()
         tickets.append(server.submit(int(root), kind=kind,
-                                     semiring=semiring, now=float(t)))
+                                     semiring=semiring, now=float(t),
+                                     deadline=deadline))
     end = float(arrivals[-1])
-    deadline = server.batcher.next_deadline()
-    while deadline is not None:
-        server.poll(now=deadline)
-        end = max(end, deadline)
-        deadline = server.batcher.next_deadline()
+    due = server.batcher.next_deadline()
+    while due is not None:
+        server.poll(now=due)
+        end = max(end, due)
+        due = server.batcher.next_deadline()
     server.drain(now=end)
     makespan = max(server.busy_until, end) - float(arrivals[0])
     return _report(server, before, tickets, makespan)
@@ -161,7 +165,12 @@ def _snapshot(server: Server) -> dict:
             "batches": st.batches, "nlat": len(st.latencies),
             "nclat": len(st.cache_latencies),
             "nwidths": len(st.widths), "coalesced": server.batcher.coalesced,
-            "lookups": cs.lookups}
+            "lookups": cs.lookups,
+            "timeouts": st.timeouts, "retries": st.retries,
+            "failed": st.failed, "failed_batches": st.failed_batches,
+            "sheds": st.sheds, "stale_serves": st.stale_serves,
+            "cache_flakes": st.cache_flakes,
+            "breaker_opens": st.breaker_opens}
 
 
 def _report(server: Server, before: dict, tickets: list,
@@ -203,4 +212,13 @@ def _report(server: Server, before: dict, tickets: list,
                                 if clat.size else 0.0),
         "cache_latency_p99_s": (float(np.percentile(clat, 99))
                                 if clat.size else 0.0),
+        # Resilience counters (all zero under a fault-free run).
+        "timeouts": st.timeouts - before["timeouts"],
+        "retries": st.retries - before["retries"],
+        "failed": st.failed - before["failed"],
+        "failed_batches": st.failed_batches - before["failed_batches"],
+        "sheds": st.sheds - before["sheds"],
+        "stale_serves": st.stale_serves - before["stale_serves"],
+        "cache_flakes": st.cache_flakes - before["cache_flakes"],
+        "breaker_opens": st.breaker_opens - before["breaker_opens"],
     }

@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as _hyp_settings
+
+# "chaos" widens the fault-injection property tests (CI runs the chaos job
+# with HYPOTHESIS_PROFILE=chaos); the default profile keeps local runs fast.
+_hyp_settings.register_profile("chaos", max_examples=300, deadline=None)
+_hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 from repro.graphs.graph import Graph
 from repro.graphs.kronecker import kronecker
