@@ -19,6 +19,10 @@ What is compared is deliberately machine-portable:
   throughput *ratios* (same-process quotients, machine-portable), plus
   the MSHR Zipf-ablation ``reuse_rate`` / ``columns_per_query`` ratios,
   which are seed-deterministic (virtual-clock) exact change detectors;
+* ``bench_exec`` — the executed backend's critical-path speedup *ratios*
+  (slowest-shard vs single-shard compute seconds from the same process,
+  machine-portable; the threads backend's wall clock is reported in the
+  artifact but never gated, since it tracks the host's core count);
 * ``bench_resilience`` — goodput/timeout/retry curves vs injected fault
   rate (virtual clock + seeded fault stream + modeled service times) and
   the dist tier's checkpoint-vs-recompute overhead ratios: fully
@@ -235,6 +239,34 @@ def _extract_resilience(payload: dict) -> list[Point]:
     return points
 
 
+def _run_exec_quick() -> dict:
+    import bench_exec as m
+
+    return m.run_sweep(
+        m.QUICK["scale"],
+        m.QUICK["edgefactor"],
+        m.QUICK["nroots"],
+        m.QUICK["workers"],
+    )
+
+
+def _extract_exec(payload: dict) -> list[Point]:
+    # Critical-path speedup ratios: quotients of shard timings measured in
+    # the same process, so the host's absolute speed divides out (and the
+    # single-core CI host's inability to show wall-clock parallel speedup
+    # does not matter — the threads wall times are never gated).
+    return [
+        Point(
+            f"W={r['workers']}.speedup_critical_path",
+            r["speedup_critical_path"],
+            "higher",
+            True,
+        )
+        for r in payload["workers"]
+        if r["workers"] != 1
+    ]
+
+
 def _run_fig01_quick() -> dict:
     import bench_fig01_headline as m
 
@@ -266,6 +298,7 @@ BENCHES = {
         True,
     ),
     "serve": ("BENCH_serve.json", _run_serve_quick, _extract_serve, False),
+    "exec": ("BENCH_exec.json", _run_exec_quick, _extract_exec, False),
     "resilience": (
         "BENCH_resilience.json",
         _run_resilience_quick,

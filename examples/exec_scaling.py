@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Executed parallel backend: measured sharded sweep + model calibration.
+
+The distributed tier (``repro.dist``) *models* the 1D-partitioned BFS
+with analytic per-rank costs; ``repro.exec`` *executes* the same row
+sharding, timing each shard's SpMM sweep and the frontier exchange for
+real.  This example runs a worker sweep over one Kronecker graph,
+verifies every sharded run is bit-identical to the plain batched engine,
+prints the measured critical-path scaling, and then fits the ``knl`` /
+``cray-aries`` descriptors to the measurement — the calibration loop
+that turns the cost model's arbitrary units into this host's seconds.
+
+Run:  python examples/exec_scaling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MultiSourceBFS, SlimSell, calibrate, kronecker
+from repro.exec import ExecMultiSourceBFS
+
+WORKERS = (1, 2, 4, 8)
+
+
+def main() -> None:
+    g = kronecker(scale=12, edgefactor=16, seed=3)
+    rep = SlimSell(g, 16, sigma=g.n)
+    roots = np.arange(16, dtype=np.int64)
+    print(f"workload: Kronecker n={g.n}, m={g.m}, 16-source batched BFS\n")
+
+    expected = MultiSourceBFS(rep, "sel-max", slimwork=True).run(roots)
+
+    header = (f"{'W':>3s} {'compute ms':>11s} {'critical ms':>12s} "
+              f"{'exchange ms':>12s} {'speedup':>8s}  identical")
+    print(header)
+    print("-" * len(header))
+    base = None
+    for w in WORKERS:
+        with ExecMultiSourceBFS(rep, "sel-max", workers=w,
+                                slimwork=True) as engine:
+            results = engine.run(roots)
+            prof = engine.layer_profile
+        compute = sum(layer.t_compute_total_s for layer in prof)
+        critical = sum(layer.t_local_s for layer in prof)
+        exchange = sum(layer.t_exchange_s for layer in prof)
+        if base is None:
+            base = compute
+        same = all(np.array_equal(a.dist, b.dist)
+                   and np.array_equal(a.parent, b.parent)
+                   for a, b in zip(results, expected))
+        print(f"{w:3d} {compute * 1e3:11.2f} {critical * 1e3:12.2f} "
+              f"{exchange * 1e3:12.2f} {base / critical:7.2f}x  {same}")
+
+    print("\ncalibrating the knl / cray-aries descriptors against the "
+          "measured 4-worker run:\n")
+    rpt = calibrate(rep, roots, workers=4, machine="knl",
+                    network="cray-aries", slimwork=True)
+    print(rpt.describe())
+
+
+if __name__ == "__main__":
+    main()

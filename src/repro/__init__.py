@@ -21,6 +21,8 @@ Layout
 ``repro.perf``      cost model + timing/amortization harness
 ``repro.analysis``  Table II work bounds, Eq. (1)/(2)
 ``repro.dist``      §VI distributed-memory BFS simulation (1D/2D)
+``repro.exec``      executed parallel backend (sharded SpMM sweep) +
+                    model calibration via ``repro.dist.calibrate``
 ``repro.serve``     adaptive micro-batching query server + workloads
 """
 
@@ -86,6 +88,14 @@ _LAZY_EXPORTS = {
     "DistBFSResult": ("repro.dist.result", "DistBFSResult"),
     "DistBatchResult": ("repro.dist.result", "DistBatchResult"),
     "DistIterationStats": ("repro.dist.result", "DistIterationStats"),
+    "CalibrationReport": ("repro.dist.calibrate", "CalibrationReport"),
+    "calibrate": ("repro.dist.calibrate", "calibrate"),
+    # repro.exec — the executed parallel backend; lazy because the process
+    # backend's plumbing (multiprocessing, shared_memory) is dead weight
+    # for single-node modeling runs.
+    "ExecMultiSourceBFS": ("repro.exec.engine", "ExecMultiSourceBFS"),
+    "ExecLayerStats": ("repro.exec.engine", "ExecLayerStats"),
+    "bfs_exec": ("repro.exec.engine", "bfs_exec"),
     # repro.serve — the adaptive micro-batching query server; lazy for the
     # same reason as repro.dist (it pulls in both batched engines).
     "Server": ("repro.serve.server", "Server"),
@@ -174,6 +184,11 @@ __all__ = [
     "DistBFSResult",
     "DistBatchResult",
     "DistIterationStats",
+    "CalibrationReport",
+    "calibrate",
+    "ExecMultiSourceBFS",
+    "ExecLayerStats",
+    "bfs_exec",
     "Server",
     "AsyncServer",
     "ServeStats",

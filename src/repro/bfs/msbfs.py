@@ -60,6 +60,7 @@ __all__ = [
     "run_in_batches",
     "snapshot_column",
     "spmm_layer_sweep",
+    "sweep_band_layers",
     "validate_roots",
 ]
 
@@ -137,6 +138,46 @@ def run_in_batches(engine, roots, batch: int | None) -> list[BFSResult]:
 # all drive the same shrinking-prefix column-layer kernel and the same
 # per-column state bookkeeping, so those pieces live here as functions.
 # ----------------------------------------------------------------------
+def sweep_band_layers(sr: SemiringBFS, C: int, col: np.ndarray,
+                      val: np.ndarray, cs: np.ndarray, cl: np.ndarray,
+                      f_prev: np.ndarray, x_nd: np.ndarray, act: np.ndarray,
+                      act_out: np.ndarray | None = None) -> None:
+    """Shrinking-prefix layer sweep over ``act``, into an ``x_nd`` view.
+
+    The sharded core of :func:`spmm_layer_sweep`: ``x_nd`` is a chunk-major
+    accumulator view of shape ``(nb, C)`` or ``(nb, C, W)`` covering ``nb``
+    chunks — the whole representation (``nb = nc``) or one worker's row
+    band.  ``act`` holds *global* chunk ids (they index the matrix operands
+    ``cs``/``cl``); ``act_out`` holds the matching positions inside
+    ``x_nd`` and defaults to ``act`` (band == whole matrix).  ``f_prev``
+    always stays global: a chunk's gather may read any vertex's frontier
+    value, which is exactly why the executed backend has to exchange union
+    frontiers between sharded sweeps.
+
+    Each chunk's rows accumulate only their own layer contributions, in
+    ascending layer order, reading nothing but the fixed ``f_prev`` — so
+    partitioning ``act`` across bands and sweeping each band separately is
+    bit-identical to one global sweep, for any partition.
+    """
+    if act.size == 0:
+        return
+    lane_off = np.arange(C, dtype=np.int64)
+    order = np.argsort(-cl[act], kind="stable")
+    srt = act[order]
+    out = srt if act_out is None else act_out[order]
+    scl = cl[srt]
+    max_l = int(scl[0]) if scl.size else 0
+    for j in range(max_l):
+        live_n = int(np.searchsorted(-scl, -j, side="left"))
+        if live_n == 0:
+            break
+        live = srt[:live_n]
+        idx = (cs[live] + j * C)[:, None] + lane_off  # (L, C)
+        vals = val[idx][..., None] if x_nd.ndim == 3 else val[idx]
+        contrib = sr.mul(vals, f_prev[col[idx]])
+        x_nd[out[:live_n]] = sr.add(x_nd[out[:live_n]], contrib)
+
+
 def spmm_layer_sweep(rep: SellCSigma, sr: SemiringBFS, f_prev: np.ndarray,
                      x_out: np.ndarray, act: np.ndarray) -> None:
     """One semiring layer sweep over the active chunks, in place.
@@ -152,6 +193,9 @@ def spmm_layer_sweep(rep: SellCSigma, sr: SemiringBFS, f_prev: np.ndarray,
     Active chunks are sorted by descending length so the live set of each
     successive column layer is a shrinking prefix; every gather/mul/add of
     a layer then moves all W columns at once (the SpMM amortization).
+    The inner loop is :func:`sweep_band_layers` over the whole chunk range;
+    the executed parallel backend (:mod:`repro.exec`) drives the same core
+    over per-worker row bands.
     """
     if act.size == 0:
         return
@@ -160,25 +204,10 @@ def spmm_layer_sweep(rep: SellCSigma, sr: SemiringBFS, f_prev: np.ndarray,
         # silently discard every chunk update — fail loudly instead.
         raise ValueError("x_out must be C-contiguous (pass a materialized "
                          "column block, not a sliced view)")
-    C = rep.C
-    col = rep.col64
-    val = rep.val_for(sr)
-    cs, cl = rep.cs, rep.cl
-    lane_off = np.arange(C, dtype=np.int64)
     batched = f_prev.ndim == 2
-    x_nd = x_out.reshape((rep.nc, C, -1) if batched else (rep.nc, C))
-    order = np.argsort(-cl[act], kind="stable")
-    srt = act[order]
-    scl = cl[srt]
-    max_l = int(scl[0]) if scl.size else 0
-    for j in range(max_l):
-        live = srt[: int(np.searchsorted(-scl, -j, side="left"))]
-        if live.size == 0:
-            break
-        idx = (cs[live] + j * C)[:, None] + lane_off  # (L, C)
-        vals = val[idx][..., None] if batched else val[idx]
-        contrib = sr.mul(vals, f_prev[col[idx]])
-        x_nd[live] = sr.add(x_nd[live], contrib)
+    x_nd = x_out.reshape((rep.nc, rep.C, -1) if batched else (rep.nc, rep.C))
+    sweep_band_layers(sr, rep.C, rep.col64, rep.val_for(sr), rep.cs, rep.cl,
+                      f_prev, x_nd, act)
 
 
 def snapshot_column(st: BFSState, j: int) -> BFSState:
@@ -319,10 +348,7 @@ class MultiSourceBFS:
                 src_active = None
                 active = np.ones(nc, dtype=bool)
             act = np.flatnonzero(active)
-            x_raw = st.f.copy()  # carry: inactive chunks keep their columns
-            # Shrinking-prefix layer sweep, as in the single-source
-            # engine — but every gather/mul/add moves `width` columns.
-            spmm_layer_sweep(rep, sr, st.f, x_raw, act)
+            x_raw = self._layer_sweep(st.f, act, k)
             newly = sr.postprocess(st, x_raw)  # int64[width]
             union_stats.append((int(act.size), int(cl[act].sum()), width))
             if src_active is not None:
@@ -359,6 +385,22 @@ class MultiSourceBFS:
             finals[b] = snapshot_column(st, int(j))
         self._last_sweep = (B, union_stats)
         return finals, per_src
+
+    def _layer_sweep(self, f_prev: np.ndarray, act: np.ndarray,
+                     k: int) -> np.ndarray:
+        """Run one union layer sweep; return the raw accumulator.
+
+        The single extension point the executed parallel backend
+        (:mod:`repro.exec`) overrides: it shards ``act`` across workers,
+        sweeps each row band concurrently, and reassembles the union
+        result here — everything else in :meth:`_sweep` (SlimWork masks,
+        postprocess, termination, stats) is shared verbatim.
+        """
+        # Carry: inactive chunks keep their columns.  The sweep is a
+        # shrinking-prefix pass moving all live columns per gather.
+        x_raw = f_prev.copy()
+        spmm_layer_sweep(self.rep, self.semiring, f_prev, x_raw, act)
+        return x_raw
 
     # ------------------------------------------------------------------
     def batch_counters(self):

@@ -8,6 +8,7 @@ Subcommands
 ``storage``   print the Table III storage comparison for a graph
 ``machines``  list the seven modeled evaluation systems
 ``dist``      simulate the §VI distributed BFS (1D ranks or a 2D grid)
+``exec``      execute the row-sharded parallel sweep (and calibrate models)
 ``serve``     run the micro-batching query server under a simulated load
 """
 
@@ -275,6 +276,57 @@ def _cmd_dist(args) -> int:
     return 0
 
 
+def _cmd_exec(args) -> int:
+    from repro.bfs.msbfs import run_in_batches
+    from repro.exec.engine import ExecMultiSourceBFS
+    from repro.formats.slimsell import SlimSell
+    from repro.graph500 import sample_roots
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.nroots < 1:
+        raise SystemExit(f"--nroots must be >= 1, got {args.nroots}")
+    g = _load_graph(args.graph)
+    rep = SlimSell(g, args.chunk, args.sigma if args.sigma else g.n)
+    slimwork = not args.no_slimwork
+    roots = sample_roots(g, args.nroots, args.seed)
+    if args.calibrate:
+        from repro.dist.calibrate import calibrate
+
+        rpt = calibrate(rep, roots, workers=args.workers,
+                        machine=args.machine, network=args.network,
+                        backend=args.backend, slimwork=slimwork,
+                        batch=args.batch)
+        print(rpt.describe())
+        return 0
+    engine = ExecMultiSourceBFS(rep, workers=args.workers,
+                                backend=args.backend, slimwork=slimwork)
+    with engine:
+        results = run_in_batches(engine, roots, args.batch)
+        prof = list(engine.layer_profile)
+    t_compute = sum(layer.t_compute_total_s for layer in prof)
+    t_crit = sum(layer.t_local_s for layer in prof)
+    t_exch = sum(layer.t_exchange_s for layer in prof)
+    reached = sum(r.reached for r in results)
+    print(f"method={results[0].method} workers={args.workers} "
+          f"backend={args.backend} sources={len(results)} "
+          f"batch={args.batch or len(results)}")
+    print(f"reached {reached} vertices over {len(results)} traversals in "
+          f"{len(prof)} executed layers")
+    speedup = t_compute / t_crit if t_crit > 0 else 0.0
+    print(f"measured: compute {t_compute * 1e3:.3f} ms total, critical "
+          f"path {t_crit * 1e3:.3f} ms (critical-path speedup "
+          f"{speedup:.2f}x), exchange {t_exch * 1e3:.3f} ms")
+    if args.verbose:
+        for layer in prof:
+            shards = "/".join(f"{t * 1e6:.0f}" for t in layer.t_workers)
+            print(f"  layer {layer.k}: width={layer.width} "
+                  f"chunks={list(layer.chunks_per_worker)} "
+                  f"t_workers={shards}us "
+                  f"t_exchange={layer.t_exchange_s * 1e6:.1f}us")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.graph500 import sample_roots
     from repro.serve.server import Server
@@ -502,6 +554,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed of the fault-injection rng stream")
     d.add_argument("--verbose", "-v", action="store_true")
     d.set_defaults(fn=_cmd_dist)
+
+    from repro.exec.pool import BACKENDS
+
+    e = sub.add_parser(
+        "exec",
+        help="execute the row-sharded parallel SpMM sweep (measured, "
+             "bit-identical to the batched engine)")
+    e.add_argument("graph", help="graph file or generator spec")
+    e.add_argument("--workers", "-w", type=int, default=2,
+                   help="row shards swept per layer (default: 2)")
+    e.add_argument("--backend", default="serial", choices=BACKENDS,
+                   help="how shards run: instrumented in-process loop, "
+                        "thread pool, or forked shared-memory processes")
+    e.add_argument("--chunk", "-C", type=int, default=16,
+                   help="chunk height C")
+    e.add_argument("--sigma", type=int, default=None, help="sorting scope")
+    e.add_argument("--nroots", type=int, default=8,
+                   help="Graph500-sampled BFS sources (default: 8)")
+    e.add_argument("--batch", type=int, default=None,
+                   help="frontier columns per batched sweep "
+                        "(default: all --nroots sources at once)")
+    e.add_argument("--seed", type=int, default=1,
+                   help="root-sampling seed")
+    e.add_argument("--no-slimwork", action="store_true",
+                   help="disable SlimWork chunk skipping")
+    e.add_argument("--calibrate", action="store_true",
+                   help="fit the dist cost model to the measured run and "
+                        "print the machine/network descriptor diff")
+    e.add_argument("--machine", default="knl",
+                   help="descriptor to calibrate (see `repro machines`)")
+    e.add_argument("--network", default="cray-aries",
+                   choices=sorted(NETWORKS),
+                   help="network descriptor to calibrate")
+    e.add_argument("--verbose", "-v", action="store_true")
+    e.set_defaults(fn=_cmd_exec)
 
     sv = sub.add_parser(
         "serve", help="micro-batching query server under a simulated load")

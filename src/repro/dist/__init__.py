@@ -28,11 +28,18 @@ Modules
                reduce-scatter, optional direction-optimizing transpose)
 ``faults``     seed-deterministic rank-failure/straggler injection with
                checkpoint-interval vs recompute-from-root recovery cost
+``calibrate``  fit the machine/network descriptors to the *executed*
+               parallel backend's measured layer times (:mod:`repro.exec`)
 ``result``     per-iteration profile and result containers
 """
 
 from repro.dist.bfs1d import bfs_dist_1d
 from repro.dist.bfs2d import bfs_dist_2d
+from repro.dist.calibrate import (
+    CalibrationIteration,
+    CalibrationReport,
+    calibrate,
+)
 from repro.dist.faults import (
     DistFaultInjector,
     DistFaultModel,
@@ -56,6 +63,9 @@ from repro.dist.result import DistBatchResult, DistBFSResult, DistIterationStats
 __all__ = [
     "bfs_dist_1d",
     "bfs_dist_2d",
+    "CalibrationIteration",
+    "CalibrationReport",
+    "calibrate",
     "Partition1D",
     "Network",
     "NETWORKS",

@@ -1,0 +1,230 @@
+"""Calibrate the dist cost model against the executed parallel backend.
+
+The 1D model (:func:`repro.dist.bfs1d.bfs_dist_1d`) charges every union
+iteration a slowest-rank local term and an allgather term built from
+spec-sheet :class:`~repro.vec.machine.Machine` /
+:class:`~repro.dist.network.Network` descriptors.  The executed backend
+(:mod:`repro.exec`) *measures* the same two quantities on the same
+partition: per-worker band-sweep seconds (critical path = max over
+workers, exactly the model's barrier) and leader-side union-exchange
+seconds, at the same point of the same union schedule.
+
+:func:`calibrate` runs both over identical roots/partition, aligns the
+iteration profiles 1:1, and fits one scale per term::
+
+    compute_scale = Σ measured t_local   / Σ modeled t_local
+    comm_scale    = Σ measured exchange  / Σ modeled allgather
+
+Both cost formulas are homogeneous in their descriptors — local time
+scales as 1/ghz and 1/bandwidth uniformly, the allgather as α and 1/β —
+so dividing the machine's ``ghz``/``bandwidth_gbs`` by ``compute_scale``
+(and multiplying the network's α / dividing its β by ``comm_scale``)
+yields calibrated descriptors under which the model reproduces the
+measured totals *exactly*.  The report carries both descriptor diffs and
+the per-iteration measured-vs-modeled table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
+
+from repro.bfs.msbfs import run_in_batches
+from repro.dist.bfs1d import bfs_dist_1d
+from repro.dist.network import Network, get_network
+from repro.dist.partition import Partition1D
+from repro.formats.sell import SellCSigma
+from repro.vec.machine import Machine, get_machine
+
+__all__ = ["CalibrationIteration", "CalibrationReport", "calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibrationIteration:
+    """One union iteration, measured next to its modeled counterpart."""
+
+    k: int
+    width: int
+    measured_local_s: float
+    modeled_local_s: float
+    measured_exchange_s: float
+    modeled_comm_s: float
+
+
+def _diff(before, after) -> dict[str, tuple]:
+    """Changed dataclass fields as ``{name: (before, after)}``."""
+    out = {}
+    for f in fields(before):
+        a, b = getattr(before, f.name), getattr(after, f.name)
+        if a != b:
+            out[f.name] = (a, b)
+    return out
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Outcome of one :func:`calibrate` run.
+
+    ``machine_calibrated``/``network_calibrated`` are descriptors under
+    which the model's Σ t_local (and Σ t_comm, when workers > 1)
+    reproduce the measured totals exactly; ``comm_scale`` is ``None``
+    when nothing was modeled on the wire (one worker communicates
+    nothing), in which case ``network_calibrated`` is the input network
+    unchanged.
+    """
+
+    workers: int
+    backend: str
+    compute_scale: float
+    comm_scale: float | None
+    machine: Machine
+    machine_calibrated: Machine
+    network: Network
+    network_calibrated: Network
+    iterations: list[CalibrationIteration]
+
+    @property
+    def measured_local_s(self) -> float:
+        return float(sum(it.measured_local_s for it in self.iterations))
+
+    @property
+    def modeled_local_s(self) -> float:
+        return float(sum(it.modeled_local_s for it in self.iterations))
+
+    @property
+    def measured_exchange_s(self) -> float:
+        return float(sum(it.measured_exchange_s for it in self.iterations))
+
+    @property
+    def modeled_comm_s(self) -> float:
+        return float(sum(it.modeled_comm_s for it in self.iterations))
+
+    def machine_diff(self) -> dict[str, tuple]:
+        """Machine descriptor fields the calibration changed."""
+        return _diff(self.machine, self.machine_calibrated)
+
+    def network_diff(self) -> dict[str, tuple]:
+        """Network descriptor fields the calibration changed."""
+        return _diff(self.network, self.network_calibrated)
+
+    def describe(self) -> str:
+        """Human-readable measured-vs-modeled table + descriptor diffs."""
+        lines = [
+            f"calibration: workers={self.workers} backend={self.backend} "
+            f"machine={self.machine.name} network={self.network.name}",
+            f"{'k':>3} {'width':>5} {'meas local':>12} {'model local':>12} "
+            f"{'meas exch':>12} {'model comm':>12}",
+        ]
+        for it in self.iterations:
+            lines.append(
+                f"{it.k:>3} {it.width:>5} {it.measured_local_s:>12.3e} "
+                f"{it.modeled_local_s:>12.3e} {it.measured_exchange_s:>12.3e} "
+                f"{it.modeled_comm_s:>12.3e}")
+        lines.append(
+            f"sum {'':>5} {self.measured_local_s:>12.3e} "
+            f"{self.modeled_local_s:>12.3e} {self.measured_exchange_s:>12.3e} "
+            f"{self.modeled_comm_s:>12.3e}")
+        lines.append(f"compute_scale = {self.compute_scale:.4g} "
+                     "(measured local / modeled local)")
+        if self.comm_scale is not None:
+            lines.append(f"comm_scale    = {self.comm_scale:.4g} "
+                         "(measured exchange / modeled allgather)")
+        else:
+            lines.append("comm_scale    = n/a (single worker: "
+                         "nothing modeled on the wire)")
+        for label, diff in (("machine", self.machine_diff()),
+                            ("network", self.network_diff())):
+            for name, (old, new) in diff.items():
+                lines.append(f"{label}.{name}: {old!r} -> {new!r}")
+        return "\n".join(lines)
+
+
+def calibrate(
+    rep: SellCSigma,
+    roots,
+    *,
+    workers: int,
+    machine: Machine | str = "knl",
+    network: Network | str = "cray-aries",
+    backend: str = "serial",
+    partition: Partition1D | None = None,
+    slimwork: bool = True,
+    batch: int | None = None,
+) -> CalibrationReport:
+    """Measure the executed backend and fit the dist model's descriptors.
+
+    Runs :class:`~repro.exec.ExecMultiSourceBFS` (``backend="serial"``
+    by default — sequential shards give clean per-shard attribution, so
+    the max-over-workers critical path is meaningful even on one core)
+    and :func:`~repro.dist.bfs1d.bfs_dist_1d` over the same roots,
+    partition, grouping, and SlimWork setting, then aligns their union
+    iteration profiles position by position (widths must agree — both
+    sides derive the schedule from the same batched engine).
+    """
+    from repro.exec.engine import ExecMultiSourceBFS
+
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    if isinstance(network, str):
+        network = get_network(network)
+    if partition is None:
+        partition = Partition1D.balanced(rep.cl, workers)
+    engine = ExecMultiSourceBFS(rep, "tropical", workers=workers,
+                                backend=backend, partition=partition,
+                                slimwork=slimwork, compute_parents=False)
+    try:
+        results = run_in_batches(engine, roots, batch)
+    finally:
+        engine.close()
+    measured = engine.layer_profile
+    modeled = bfs_dist_1d(rep, roots, partition, machine, network,
+                          slimwork=slimwork, batch=batch)
+    if len(measured) != len(modeled.iterations):
+        raise RuntimeError(
+            f"schedule mismatch: executed {len(measured)} union iterations, "
+            f"model profiled {len(modeled.iterations)}")
+    iterations = []
+    for m, d in zip(measured, modeled.iterations):
+        if m.width != d.width:
+            raise RuntimeError(
+                f"width mismatch at iteration {m.k}: executed {m.width}, "
+                f"modeled {d.width}")
+        iterations.append(CalibrationIteration(
+            k=m.k, width=m.width,
+            measured_local_s=m.t_local_s, modeled_local_s=d.t_local_s,
+            measured_exchange_s=m.t_exchange_s, modeled_comm_s=d.t_comm_s))
+    # Sanity: the execution and the model must agree on the answer too.
+    dists = np.stack([r.dist for r in results])
+    if not np.array_equal(dists, modeled.dists):
+        raise RuntimeError("executed and modeled distances diverged")
+
+    meas_local = sum(it.measured_local_s for it in iterations)
+    model_local = sum(it.modeled_local_s for it in iterations)
+    if model_local <= 0.0:
+        raise RuntimeError("model charged zero local seconds; "
+                           "nothing to calibrate against")
+    compute_scale = meas_local / model_local
+    # t_local ~ 1/ghz and 1/bandwidth: dividing both by the scale
+    # multiplies every modeled local term by exactly compute_scale.
+    machine_cal = replace(machine, name=f"{machine.name}-calibrated",
+                          ghz=machine.ghz / compute_scale,
+                          bandwidth_gbs=machine.bandwidth_gbs / compute_scale)
+    model_comm = sum(it.modeled_comm_s for it in iterations)
+    if model_comm > 0.0:
+        meas_exch = sum(it.measured_exchange_s for it in iterations)
+        comm_scale = meas_exch / model_comm
+        # allgather = log2(P)·α + bytes·(P−1)/P/β: α scales up with the
+        # factor, β down, so every comm term scales by exactly comm_scale.
+        network_cal = replace(
+            network, name=f"{network.name}-calibrated",
+            latency_s=network.latency_s * comm_scale,
+            bandwidth_gbs=network.bandwidth_gbs / comm_scale)
+    else:
+        comm_scale = None
+        network_cal = network
+    return CalibrationReport(
+        workers=workers, backend=backend, compute_scale=compute_scale,
+        comm_scale=comm_scale, machine=machine,
+        machine_calibrated=machine_cal, network=network,
+        network_calibrated=network_cal, iterations=iterations)

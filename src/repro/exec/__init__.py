@@ -1,0 +1,24 @@
+"""Executed (not just modeled) parallel backend for the SpMM sweep.
+
+Shards the SlimSell chunks by :class:`~repro.dist.partition.Partition1D`,
+runs the union layer sweep across real workers, and exchanges real union
+frontiers exactly where :func:`repro.dist.bfs1d.bfs_dist_1d` charges its
+collectives — turning the §VI simulation into an executed traversal whose
+measured layer times calibrate the model's machine/network descriptors
+(:func:`repro.dist.calibrate.calibrate`).
+"""
+
+from repro.exec.engine import ExecLayerStats, ExecMultiSourceBFS, bfs_exec
+from repro.exec.pool import (BACKENDS, ProcessBackend, SerialBackend,
+                             ThreadBackend, make_backend)
+
+__all__ = [
+    "BACKENDS",
+    "ExecLayerStats",
+    "ExecMultiSourceBFS",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "bfs_exec",
+    "make_backend",
+]

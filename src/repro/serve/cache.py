@@ -99,11 +99,17 @@ class ResultCache:
     capacity: int = 1024
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
-    #: ``(semiring, root)`` → full key of the *newest* cached entry for
-    #: that root, across epochs — the stale-serve index: when the circuit
-    #: breaker is open, :meth:`peek_stale` answers from a prior epoch's
+    #: ``(semiring, root)`` → set of epochs with a live cached entry for
+    #: that root — the stale-serve index: when the circuit breaker is
+    #: open, :meth:`peek_stale` answers from the newest *prior*-epoch
     #: entry (flagged ``stale=True``) instead of failing outright.
-    _newest: dict = field(default_factory=dict, repr=False)
+    #: Invariant: ``e in _epochs[(s, r)]`` iff ``(e, s, r) in _entries``
+    #: (and no set is ever empty), maintained by put/eviction/clear — a
+    #: single newest-key pointer is not enough, because LRU eviction of
+    #: the newest entry, or an ``invalidate()`` + ``put`` landing a
+    #: fresh-epoch entry on top of a kept-stale one, would leave it
+    #: either dangling on a dead key or hiding a live older epoch.
+    _epochs: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
         if self.capacity < 0:
@@ -156,11 +162,15 @@ class ResultCache:
         second name for a fresh hit.  Does not refresh recency (stale
         entries should not outlive hot fresh ones on degraded traffic).
         """
-        key = self._newest.get((semiring, root))
-        if key is None or key[0] >= epoch:
+        live = self._epochs.get((semiring, root))
+        if not live:
             return None
+        prior = [e for e in live if e < epoch]
+        if not prior:
+            return None
+        key = (max(prior), semiring, root)
         res = self._entries.get(key)
-        if res is None:
+        if res is None:  # defensive: the index invariant forbids this
             return None
         return key, res
 
@@ -173,15 +183,16 @@ class ResultCache:
             self._entries.move_to_end(key)
         self._entries[key] = result
         epoch, semiring, root = key
-        newest = self._newest.get((semiring, root))
-        if newest is None or epoch >= newest[0]:
-            self._newest[(semiring, root)] = key
+        self._epochs.setdefault((semiring, root), set()).add(epoch)
         while len(self._entries) > self.capacity:
             old_key, _ = self._entries.popitem(last=False)
             self.stats.evictions += 1
-            _, s, r = old_key
-            if self._newest.get((s, r)) == old_key:
-                del self._newest[(s, r)]
+            e, s, r = old_key
+            live = self._epochs.get((s, r))
+            if live is not None:
+                live.discard(e)
+                if not live:
+                    del self._epochs[(s, r)]
 
     def clear(self, keep_stale: bool = False) -> None:
         """Drop every entry (stats are preserved).
@@ -194,4 +205,4 @@ class ResultCache:
         if keep_stale:
             return
         self._entries.clear()
-        self._newest.clear()
+        self._epochs.clear()

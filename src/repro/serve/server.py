@@ -102,6 +102,11 @@ class ServeStats:
     batches: int = 0
     #: Total kernel wall-clock seconds across dispatched batches.
     kernel_s: float = 0.0
+    #: Kernel seconds of batches that served *no* waiter (every query in
+    #: them resolved past its deadline): charged to ``kernel_s`` like any
+    #: other batch, but split out so goodput metrics can exclude them —
+    #: otherwise faulted runs silently deflate ``kernel_throughput``.
+    kernel_s_wasted: float = 0.0
     #: Width of every dispatched batch, in dispatch order.
     widths: list[int] = field(default_factory=list)
     #: Release-reason histogram (``width`` / ``deadline`` / ``drain``).
@@ -142,9 +147,16 @@ class ServeStats:
 
     @property
     def kernel_throughput(self) -> float:
-        """Kernel-resolved queries per kernel second (excludes cache hits)."""
+        """Kernel-resolved queries per *useful* kernel second.
+
+        Excludes cache hits from the numerator and wasted kernel seconds
+        (batches whose every waiter timed out) from the denominator, so
+        the metric stays a goodput rate under fault injection instead of
+        silently deflating.
+        """
         kernel_served = self.served - self.cache_hits
-        return kernel_served / self.kernel_s if self.kernel_s > 0 else 0.0
+        useful = self.kernel_s - self.kernel_s_wasted
+        return kernel_served / useful if useful > 0 else 0.0
 
     def latency_percentile(self, p: float) -> float:
         """``p``-th percentile (0–100) of *kernel-path* latencies."""
@@ -170,6 +182,7 @@ class ServeStats:
             "mean_batch_width": self.mean_batch_width,
             "reasons": dict(self.reasons),
             "kernel_s": self.kernel_s,
+            "kernel_s_wasted": self.kernel_s_wasted,
             "kernel_throughput_qps": self.kernel_throughput,
             "latency_p50_s": self.latency_percentile(50),
             "latency_p95_s": self.latency_percentile(95),
@@ -565,6 +578,7 @@ class Server:
             st.breaker_closes += 1
             self.batcher.max_batch = self._configured_max_batch
         out: list[QueryResult] = []
+        batch_served = 0
         for j, res in enumerate(results):
             entry = self._entry_for(batch, j)
             self.mshr.dispatch(entry, res, completion, batch.width, name)
@@ -585,9 +599,15 @@ class Server:
                         batch_width=batch.width, engine=name,
                         latency_s=latency)
                     st.served += 1
+                    batch_served += 1
                     st.latencies.append(latency)
                 ticket._resolve(qr)
                 out.append(qr)
+        if batch_served == 0:
+            # Every waiter missed its deadline: the batch's kernel time
+            # produced no served answer (goodput-wasted, though the
+            # results are still cached for future queries).
+            st.kernel_s_wasted += kernel
         return out
 
     def _fail_batch(self, batch: Batch, completion: float,

@@ -135,6 +135,11 @@ def run_closed_loop(server: Server, roots: np.ndarray, *,
     ``roots`` at the current virtual time, then blocks until the round's
     results are drained; the clock advances to the round's completion.
     ``clients`` defaults to the server's ``max_batch`` (saturation).
+
+    The run begins at the server's current virtual time (``busy_until``
+    of any earlier run on a shared server; 0.0 on a fresh one) — never
+    behind it, which would land the first round's completions in the
+    past — and the reported makespan is the delta from that start.
     """
     roots = np.asarray(roots, dtype=np.int64)
     if roots.ndim != 1 or roots.size == 0:
@@ -145,14 +150,15 @@ def run_closed_loop(server: Server, roots: np.ndarray, *,
         raise ValueError(f"clients must be >= 1, got {clients}")
     before = _snapshot(server)
     tickets = []
-    now = 0.0
+    start = max(0.0, server.busy_until)  # busy_until is -inf when idle
+    now = start
     for i in range(0, roots.size, clients):
         for root in roots[i:i + clients]:
             tickets.append(server.submit(int(root), kind=kind,
                                          semiring=semiring, now=now))
         server.drain(now=now)
         now = max(now, server.busy_until)
-    return _report(server, before, tickets, makespan=now)
+    return _report(server, before, tickets, makespan=now - start)
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +168,7 @@ def _snapshot(server: Server) -> dict:
     return {"served": st.served, "cache_hits": st.cache_hits,
             "mshr_hits": st.mshr_hits,
             "rejected": st.rejected, "kernel_s": st.kernel_s,
+            "kernel_s_wasted": st.kernel_s_wasted,
             "batches": st.batches, "nlat": len(st.latencies),
             "nclat": len(st.cache_latencies),
             "nwidths": len(st.widths), "coalesced": server.batcher.coalesced,
@@ -189,6 +196,12 @@ def _report(server: Server, before: dict, tickets: list,
     served = st.served - before["served"]
     kernel_s = st.kernel_s - before["kernel_s"]
     kernel_served = served - (st.cache_hits - before["cache_hits"])
+    # Goodput accounting: ``served`` excludes timed-out/failed queries,
+    # so kernel seconds that produced no served answer (batches whose
+    # every waiter timed out) are split out rather than left in the
+    # denominator — otherwise faulted runs silently deflate throughput.
+    kernel_s_wasted = st.kernel_s_wasted - before["kernel_s_wasted"]
+    kernel_s_useful = kernel_s - kernel_s_wasted
     makespan = float(max(makespan, 0.0))
     return {
         "nqueries": len(tickets),
@@ -200,8 +213,9 @@ def _report(server: Server, before: dict, tickets: list,
         "batches": st.batches - before["batches"],
         "mean_batch_width": float(np.mean(widths)) if widths else 0.0,
         "kernel_s": kernel_s,
-        "kernel_throughput_qps": (kernel_served / kernel_s
-                                  if kernel_s > 0 else 0.0),
+        "kernel_s_wasted": kernel_s_wasted,
+        "kernel_throughput_qps": (kernel_served / kernel_s_useful
+                                  if kernel_s_useful > 0 else 0.0),
         "virtual_makespan_s": makespan,
         "virtual_throughput_qps": served / makespan if makespan > 0 else 0.0,
         "latency_p50_s": float(np.percentile(lat, 50)) if lat.size else 0.0,

@@ -40,6 +40,7 @@ from repro.bfs.spmspv import bfs_spmspv
 from repro.bfs.spmv import BFSSpMV
 from repro.bfs.traditional import bfs_top_down
 from repro.bfs.validate import check_parents_valid, reference_distances
+from repro.exec import bfs_exec
 from repro.formats.slimsell import SlimSell
 from repro.graphs.graph import Graph
 
@@ -65,14 +66,17 @@ def _per_root(fn):
 
 
 def all_bfs_engines(semiring: str = "tropical", *, slimwork: bool = True,
-                    alpha: float = 14.0) -> dict[str, EngineSpec]:
+                    alpha: float = 14.0, exec_workers: int = 2,
+                    exec_backend: str = "serial") -> dict[str, EngineSpec]:
     """Registry of every BFS engine, keyed by name.
 
     ``semiring``/``slimwork``/``alpha`` configure the algebraic engines;
     traversal engines (traditional, direction-opt) ignore them.  The
     algebraic engines' parent class is ``"native"`` under sel-max (parents
     come out of the algebra) and ``"dp"`` otherwise — except SpMSpV, which
-    always derives parents via DP.
+    always derives parents via DP.  ``exec_workers``/``exec_backend``
+    configure the executed parallel engine ("exec"), whose results must
+    not depend on either.
     """
     algebraic_parents = "native" if semiring == "sel-max" else "dp"
 
@@ -98,6 +102,11 @@ def all_bfs_engines(semiring: str = "tropical", *, slimwork: bool = True,
         EngineSpec("msbfs",
                    lambda g, rep, roots: MultiSourceBFS(
                        rep, semiring, slimwork=slimwork).run(roots),
+                   SEMIRINGS, algebraic_parents),
+        EngineSpec("exec",
+                   lambda g, rep, roots: bfs_exec(
+                       rep, roots, semiring, workers=exec_workers,
+                       backend=exec_backend, slimwork=slimwork),
                    SEMIRINGS, algebraic_parents),
         EngineSpec("mshybrid",
                    lambda g, rep, roots: MultiSourceHybridBFS(
@@ -140,6 +149,8 @@ def assert_bfs_equivalent(
     C: int = 8,
     slimwork: bool = True,
     alpha: float = 14.0,
+    exec_workers: int = 2,
+    exec_backend: str = "serial",
     engines: list[str] | None = None,
     rep: SlimSell | None = None,
 ) -> dict[str, list[BFSResult]]:
@@ -160,7 +171,9 @@ def assert_bfs_equivalent(
     without re-running anything.
     """
     roots = np.asarray(roots, dtype=np.int64)
-    specs = all_bfs_engines(semiring, slimwork=slimwork, alpha=alpha)
+    specs = all_bfs_engines(semiring, slimwork=slimwork, alpha=alpha,
+                            exec_workers=exec_workers,
+                            exec_backend=exec_backend)
     if engines is not None:
         unknown = set(engines) - set(specs)
         if unknown:

@@ -165,6 +165,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "method=dist-2d" in out and "overlap=0.5" in out
 
+    def test_exec_serial(self, capsys):
+        assert main(["exec", "kronecker:8,4", "--workers", "3", "-C", "8",
+                     "--nroots", "4", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "method=exec-serial-w3+slimwork" in out
+        assert "critical-path speedup" in out and "layer 1" in out
+
+    def test_exec_threads_backend(self, capsys):
+        assert main(["exec", "kronecker:8,4", "--workers", "2",
+                     "--backend", "threads", "--nroots", "2",
+                     "--batch", "1", "--no-slimwork"]) == 0
+        out = capsys.readouterr().out
+        assert "method=exec-threads-w2" in out and "batch=1" in out
+
+    def test_exec_calibrate(self, capsys):
+        assert main(["exec", "kronecker:8,4", "-C", "8", "--workers", "2",
+                     "--nroots", "4", "--calibrate",
+                     "--network", "ethernet-10g"]) == 0
+        out = capsys.readouterr().out
+        assert "compute_scale" in out and "comm_scale" in out
+        assert "'knl' -> 'knl-calibrated'" in out
+        assert "ethernet-10g-calibrated" in out
+
+    def test_exec_validation(self):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["exec", "kronecker:7,4", "--workers", "0"])
+        with pytest.raises(SystemExit, match="nroots"):
+            main(["exec", "kronecker:7,4", "--nroots", "0"])
+
     def test_dist_batch_requires_nroots(self):
         with pytest.raises(SystemExit, match="nroots"):
             main(["dist", "kronecker:8,4", "--batch", "4"])

@@ -25,7 +25,8 @@ from repro.formats.slimsell import SlimSell
 from repro.serve.batcher import QueryBatcher
 from repro.serve.cache import ResultCache, graph_fingerprint
 from repro.serve.engines import EnginePool, default_strategy
-from repro.serve.query import Query, Rejected, Ticket
+from repro.serve.faults import FaultPlan
+from repro.serve.query import Query, Rejected, Ticket, TimedOut
 from repro.serve.server import AsyncServer, Server
 from repro.serve.workload import (
     poisson_arrivals,
@@ -650,3 +651,128 @@ class TestBugfixRegressions:
         hit = server.submit(0, kind="validate", now=server.busy_until + 1.0)
         assert hit.result().cache_hit and hit.result().value is True
         assert calls["n"] == 1  # verdict reused, tree check skipped
+
+    # ---- workload accounting and stale-index fixes (this PR) ----
+
+    def test_closed_loop_on_reused_server_reports_delta(self, rep,
+                                                        kron_small):
+        # run_closed_loop used to start its virtual clock at 0.0 even
+        # when the server's busy_until was already ahead from an earlier
+        # run: the second run's makespan absorbed the first run's entire
+        # history, and its latencies included time spent waiting behind
+        # batches submitted before the run began.
+        server = Server(rep, max_batch=8, cache_size=0)
+        roots = np.arange(24) % kron_small.n
+        first = run_closed_loop(server, roots, clients=8)
+        assert server.busy_until > 0.0
+        second = run_closed_loop(server, roots, clients=8)
+        assert second["served"] == first["served"] == 24
+        # Per-run delta, not "time since the server was born" — on a
+        # serial closed loop the makespan is exactly this run's kernel
+        # seconds (pre-fix it was first kernel_s + second kernel_s).
+        assert second["virtual_makespan_s"] == pytest.approx(
+            second["kernel_s"])
+        assert second["virtual_throughput_qps"] > 0.0
+
+    def test_all_timeout_batch_charges_wasted_kernel(self, rep):
+        # A batch whose every waiter timed out contributes nothing to
+        # ``served``, but its kernel seconds used to stay in the
+        # throughput denominator, silently deflating
+        # ``kernel_throughput_qps`` exactly when faults made the number
+        # interesting.
+        server = Server(rep, max_batch=1, cache_size=0,
+                        service_model=lambda width: 1.0)
+        dead = server.submit(0, now=0.0, deadline=0.5)
+        server.drain(now=0.0)
+        assert isinstance(dead.result(), TimedOut)
+        ok = server.submit(1, now=server.busy_until)
+        server.drain(now=server.busy_until)
+        assert ok.result().bfs is not None
+        st = server.stats
+        assert st.timeouts == 1
+        assert st.kernel_s == pytest.approx(2.0)
+        assert st.kernel_s_wasted == pytest.approx(1.0)
+        # One served query over one *useful* kernel second (pre-fix:
+        # 1 / 2.0 = 0.5 qps, half the truth).
+        assert st.kernel_throughput == pytest.approx(1.0)
+        assert st.summary()["kernel_s_wasted"] == pytest.approx(1.0)
+
+    def test_faulted_run_goodput_over_useful_seconds(self, rep, kron_small):
+        # The report-level counterpart at a nonzero fault rate:
+        # straggler batches blow past the query deadline, their waiters
+        # all time out, and the wasted kernel seconds are split out of
+        # the goodput denominator.
+        server = Server(rep, max_batch=1, cache_size=0,
+                        service_model=lambda width: 0.1,
+                        faults=FaultPlan(straggler_rate=0.5,
+                                         straggler_factor=10.0, seed=3))
+        roots = np.arange(30) % kron_small.n
+        arrivals = np.arange(30, dtype=np.float64)  # 1 s apart
+        report = run_open_loop(server, roots, arrivals, deadline=0.5)
+        assert report["timeouts"] > 0 and report["served"] > 0
+        assert 0.0 < report["kernel_s_wasted"] < report["kernel_s"]
+        kernel_served = report["served"] - report["cache_hits"]
+        useful = report["kernel_s"] - report["kernel_s_wasted"]
+        assert report["kernel_throughput_qps"] == pytest.approx(
+            kernel_served / useful)
+        # Strictly above the pre-fix value, which kept the wasted
+        # seconds in the denominator.
+        assert report["kernel_throughput_qps"] > \
+            kernel_served / report["kernel_s"]
+
+    def test_stale_survives_eviction_of_newer_epoch(self):
+        # LRU-evicting the newest entry for a root used to leave the
+        # stale-serve index pointing at a dead key, hiding the older
+        # epoch that was still cached.
+        c = ResultCache(capacity=2)
+        c.put((0, "s", 7), "old")
+        c.put((1, "s", 7), "new")
+        assert c.peek((0, "s", 7)) == "old"  # refresh: epoch-1 is now LRU
+        c.put((0, "s", 9), "other")          # evicts (1, "s", 7)
+        assert c.peek((1, "s", 7)) is None
+        assert c.peek_stale("s", 7, epoch=2) == ((0, "s", 7), "old")
+
+    def test_invalidate_put_interleaving_keeps_older_stale(self):
+        # A fresh-epoch put after invalidate() used to move the
+        # newest-key pointer to the current epoch; peek_stale's "prior
+        # epoch only" check then reported no stale entry even though the
+        # older epoch was still cached.
+        c = ResultCache(capacity=8)
+        c.put((0, "s", 3), "stale")
+        c.put((1, "s", 3), "fresh")  # server invalidated; epoch is now 1
+        assert c.peek_stale("s", 3, epoch=1) == ((0, "s", 3), "stale")
+        assert c.peek_stale("s", 3, epoch=0) is None  # nothing before 0
+
+    @settings(**SETTINGS)
+    @given(capacity=st.integers(1, 4),
+           ops=st.lists(st.one_of(
+               st.tuples(st.just("put"), st.integers(0, 3),
+                         st.integers(0, 4)),
+               st.tuples(st.just("clear"), st.booleans(), st.just(0)),
+           ), max_size=40))
+    def test_stale_index_invariant(self, capacity, ops):
+        # The invariant the fixes above rest on: the stale-serve index
+        # holds exactly the live epochs of every entry (no dead keys, no
+        # hidden live ones, no empty sets), and peek_stale answers with
+        # the newest live prior epoch — under any put/evict/clear
+        # interleaving.
+        c = ResultCache(capacity=capacity)
+        for op, a, b in ops:
+            if op == "put":
+                c.put((a, "s", b), f"v{a}:{b}")
+            else:
+                c.clear(keep_stale=a)
+        indexed = {(e, s, r) for (s, r), live in c._epochs.items()
+                   for e in live}
+        assert indexed == set(c._entries)
+        assert all(live for live in c._epochs.values())
+        for root in range(5):
+            for epoch in range(5):
+                prior = [e for (e, s, r) in c._entries
+                         if r == root and e < epoch]
+                hit = c.peek_stale("s", root, epoch)
+                if prior:
+                    assert hit == ((max(prior), "s", root),
+                                   c._entries[(max(prior), "s", root)])
+                else:
+                    assert hit is None
