@@ -1,0 +1,299 @@
+#!/usr/bin/env python
+"""Capacity planning: the serve workload priced by the distributed models.
+
+The planner's headline question — how many ranks, on which interconnect,
+at what batch width sustain X queries/s with p99 ≤ Y — swept end to end:
+one seed-determined Poisson×Zipf query stream replayed through the real
+micro-batching server (batcher, MSHR, FIFO queueing on the virtual
+clock) while every dispatched batch is charged the §VI 1D distributed
+model's union-sweep time (slowest-rank local SpMM + per-layer allgather
+on the network preset).  Three sections:
+
+* **capacity grid** — rank count × {Cray Aries, 10 GbE} × max_batch
+  against a ladder of (qps, p99) targets; reported per target: how many
+  configurations are feasible and the cheapest one (fewest ranks, then
+  the cheaper network, then the narrower batch).  The expected shape:
+  low qps is feasible on one rank of anything, high qps forces multiple
+  ranks on Aries, and multi-rank Ethernet drowns in per-layer allgather
+  latency;
+* **checkpoint policy** — the same workload at a per-iteration rank
+  failure probability, sweeping checkpoint intervals: the planner picks
+  the interval minimizing modeled p99 (frequent checkpoints pay a steady
+  premium, none pay recompute-from-root on every failure);
+* **heterogeneous placement** — a mixed cluster (three full-speed KNLs
+  plus one derated to 0.4×), weighted
+  :func:`repro.dist.partition.machine_weights` bands vs uniform bands,
+  end to end through the dist models: weighted placement must win both
+  the modeled pool sweep and the served p99.
+
+Everything runs on virtual clocks from seeded streams — no wall-clock
+timing anywhere — so every number is an exact change detector the
+``check_regression.py`` gate pins with ``timing=False`` points.
+
+Usage::
+
+    python benchmarks/bench_capacity.py            # full configuration
+    python benchmarks/bench_capacity.py --quick    # CI smoke scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from _common import print_table, write_bench_json
+
+from repro.graphs.kronecker import kronecker
+from repro.serve.plan import compare_placement, plan_capacity
+
+#: CI smoke configuration, shared with ``benchmarks/check_regression.py`` so
+#: the regression gate re-runs exactly the workload whose numbers are stored
+#: as the committed quick baseline.  Everything here is deterministic, so
+#: quick and full runs differ only in scale.
+QUICK = {
+    "scale": 13,
+    "edgefactor": 32,
+    "targets": [(20000.0, 0.0008), (80000.0, 0.0008), (160000.0, 0.0008)],
+    "ranks": [1, 2, 4, 8],
+    "max_batches": [8, 32],
+    "nqueries": 384,
+    "root_pool": 96,
+    "zipf": 0.6,
+    "fault_prob": 0.06,
+    "fault_target": (80000.0, 0.0015),
+    "checkpoint_intervals": [None, 2, 6],
+    "hetero_machines": "knl*3,knl@0.4",
+}
+
+NETWORKS = ("cray-aries", "ethernet-10g")
+MAX_WAIT = 2e-4
+
+
+def run_sweep(
+    scale,
+    edgefactor,
+    targets,
+    ranks,
+    max_batches,
+    nqueries,
+    root_pool,
+    zipf,
+    fault_prob,
+    fault_target,
+    checkpoint_intervals,
+    hetero_machines,
+    seed=1,
+):
+    graph = kronecker(scale, edgefactor, seed=2023)
+    shared = dict(
+        nqueries=nqueries,
+        root_pool=root_pool,
+        zipf=zipf,
+        seed=seed,
+        max_wait=MAX_WAIT,
+        cache=False,
+    )
+    plan = plan_capacity(
+        graph,
+        targets,
+        ranks=ranks,
+        networks=NETWORKS,
+        max_batches=max_batches,
+        machine="knl",
+        **shared,
+    )
+    # Checkpoint policy: the heaviest Aries cell under rank failures.
+    faulty = plan_capacity(
+        graph,
+        [fault_target],
+        ranks=(max(ranks),),
+        networks=("cray-aries",),
+        max_batches=(max(max_batches),),
+        machine="knl",
+        rank_failure_prob=fault_prob,
+        checkpoint_intervals=checkpoint_intervals,
+        **shared,
+    )
+    placement = compare_placement(
+        graph,
+        hetero_machines,
+        network="cray-aries",
+        max_batch=8,
+        target=targets[0],
+        nqueries=nqueries,
+        root_pool=root_pool,
+        zipf=zipf,
+        seed=seed,
+        max_wait=1e-5,
+    )
+    return {
+        "workload": {
+            "scale": scale,
+            "edgefactor": edgefactor,
+            "n": graph.n,
+            "m": graph.m,
+            "seed": seed,
+            "graph_seed": 2023,
+            "C": 16,
+            "nqueries": nqueries,
+            "root_pool": root_pool,
+            "zipf": zipf,
+            "max_wait": MAX_WAIT,
+            "semiring": "tropical",
+            "machine": "knl",
+            "cache": False,
+        },
+        "plan": plan,
+        "faulty": faulty,
+        "placement": placement,
+        "deterministic": True,
+    }
+
+
+def print_report(payload: dict) -> None:
+    w = payload["workload"]
+    plan = payload["plan"]
+    print(
+        f"\n=== Capacity planning (scale={w['scale']}, n={w['n']}, "
+        f"m={w['m']}, {w['nqueries']} queries, zipf s={w['zipf']:g} "
+        f"over {w['root_pool']} roots, machine={w['machine']}) ==="
+    )
+    rows = []
+    for row in plan["grid"]:
+        cells = ["yes" if c["feasible"] else "no" for c in row["per_target"]]
+        rows.append(
+            [row["ranks"], row["network"], row["max_batch"]]
+            + [f"{c['latency_p99_s'] * 1e3:.3f}" for c in row["per_target"]]
+            + cells
+        )
+    headers = (
+        ["ranks", "network", "batch"]
+        + [f"p99@{t['qps']:g}" for t in plan["targets"]]
+        + [f"ok@{t['qps']:g}" for t in plan["targets"]]
+    )
+    print_table("capacity grid (p99 in ms per qps target)", headers, rows)
+    for t in plan["targets"]:
+        best = t["best"]
+        where = (
+            "infeasible"
+            if best is None
+            else f"{best['ranks']} x {best['machine']} on "
+            f"{best['network']}, max_batch={best['max_batch']} "
+            f"(p99 {best['latency_p99_s'] * 1e3:.3f} ms)"
+        )
+        print(
+            f"  {t['qps']:>8g} qps @ p99<={t['p99_target_s'] * 1e3:g} ms: "
+            f"{t['feasible_configs']}/{len(plan['grid'])} feasible -> "
+            f"{where}"
+        )
+    fcell = payload["faulty"]["grid"][0]["per_target"][0]
+    fw = payload["faulty"]["workload"]
+    print(
+        f"\ncheckpoint policy at p(fail)={fw['rank_failure_prob']:g} "
+        f"({payload['faulty']['grid'][0]['ranks']} ranks, cray-aries):"
+    )
+    for ck, p99 in sorted(fcell["interval_p99_s"].items()):
+        chosen = " <- chosen" if p99 == fcell["latency_p99_s"] else ""
+        print(f"  ckpt {ck:>5s}: p99 {p99 * 1e3:.3f} ms{chosen}")
+    pl = payload["placement"]
+    print(
+        f"\nheterogeneous placement on {'+'.join(pl['machines'])} "
+        f"({pl['network']}, max_batch={pl['max_batch']}):"
+    )
+    for label in ("weighted", "uniform"):
+        r = pl[label]
+        print(
+            f"  {label:9s} pool sweep {r['pool_sweep_s'] * 1e3:.3f} ms  "
+            f"p99 {r['latency_p99_s'] * 1e3:.3f} ms  "
+            f"rows/rank {r['work_per_rank']}"
+        )
+    print(
+        f"  weighted is {pl['sweep_improvement']:.2f}x on the sweep, "
+        f"{pl['p99_improvement']:.2f}x on served p99"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", type=int, default=15)
+    ap.add_argument("--edgefactor", type=float, default=32)
+    ap.add_argument("--nqueries", type=int, default=768)
+    ap.add_argument("--root-pool", type=int, default=128)
+    ap.add_argument("--zipf", type=float, default=0.6)
+    ap.add_argument("--ranks", default="1,2,4,8,16")
+    ap.add_argument("--max-batches", default="8,32")
+    ap.add_argument(
+        "--targets",
+        default="20000:0.8,80000:0.8,160000:0.8",
+        help="comma list of QPS:P99_MS targets",
+    )
+    ap.add_argument("--fault-prob", type=float, default=0.06)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    ap.add_argument("--output", default="BENCH_capacity.json", help="JSON results path")
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        cfg = dict(QUICK)
+    else:
+        cfg = {
+            "scale": args.scale,
+            "edgefactor": args.edgefactor,
+            "targets": [
+                (float(t.split(":")[0]), float(t.split(":")[1]) * 1e-3)
+                for t in args.targets.split(",")
+            ],
+            "ranks": [int(r) for r in args.ranks.split(",")],
+            "max_batches": [int(b) for b in args.max_batches.split(",")],
+            "nqueries": args.nqueries,
+            "root_pool": args.root_pool,
+            "zipf": args.zipf,
+            "fault_prob": args.fault_prob,
+            "fault_target": QUICK["fault_target"],
+            "checkpoint_intervals": QUICK["checkpoint_intervals"],
+            "hetero_machines": QUICK["hetero_machines"],
+        }
+
+    payload = run_sweep(
+        cfg["scale"],
+        cfg["edgefactor"],
+        cfg["targets"],
+        cfg["ranks"],
+        cfg["max_batches"],
+        cfg["nqueries"],
+        cfg["root_pool"],
+        cfg["zipf"],
+        cfg["fault_prob"],
+        cfg["fault_target"],
+        cfg["checkpoint_intervals"],
+        cfg["hetero_machines"],
+        seed=args.seed,
+    )
+    print_report(payload)
+    write_bench_json(args.output, payload)
+    print(f"\nwrote {args.output}")
+
+    # Sanity: the planner must find at least one feasible configuration
+    # for the easiest target, and weighted placement must strictly beat
+    # uniform on the skewed cluster (the heterogeneous acceptance bar).
+    if payload["plan"]["targets"][0]["best"] is None:
+        print(
+            "ERROR: no feasible configuration for the easiest target",
+            file=sys.stderr,
+        )
+        return 1
+    pl = payload["placement"]
+    if not (
+        pl["weighted"]["pool_sweep_s"] < pl["uniform"]["pool_sweep_s"]
+        and pl["weighted"]["latency_p99_s"] < pl["uniform"]["latency_p99_s"]
+    ):
+        print(
+            "ERROR: weighted placement did not beat uniform on the skewed cluster",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

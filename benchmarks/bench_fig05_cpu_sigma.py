@@ -28,6 +28,52 @@ from _common import modeled_spmv_run, print_table, save_results
 C = 8
 SIGMAS = [1, 2, 4, 8, 16, 64, 256, 1024, 4096]
 
+#: Deterministic smoke configuration for the regression gate
+#: (``benchmarks/check_regression.py``): modeled totals are pure functions
+#: of (graph, σ, cost model) — no wall clock — so the committed baseline
+#: pins the Dora σ-sweep and the SlimWork ablation exactly.
+QUICK = {"scale": 9, "edgefactor": 32, "seed": 2023,
+         "sigmas": [1, 64, 512]}
+
+
+def run_quick(scale: int | None = None, edgefactor: float | None = None,
+              seed: int | None = None) -> dict:
+    """Modeled Fig-5 numbers at a deterministic smoke scale.
+
+    One Kronecker graph on the Dora descriptor: the panel-(a) σ sweep
+    (DP, omp-static) per semiring plus the panel-(d) SlimWork on/off
+    totals, flattened into the ``modeled_total_s`` dict the bench-gate
+    pins point by point.
+    """
+    from repro.graphs.kronecker import kronecker
+
+    scale = QUICK["scale"] if scale is None else scale
+    edgefactor = QUICK["edgefactor"] if edgefactor is None else edgefactor
+    seed = QUICK["seed"] if seed is None else seed
+    sigmas = QUICK["sigmas"]
+    g = kronecker(scale, edgefactor, seed=seed)
+    root = int(np.argmax(g.degrees))
+    dora = get_machine("dora")
+    totals = {}
+    for sigma in sigmas:
+        rep = SlimSell(g, C, sigma)
+        for name in SEMIRINGS:
+            _, _, total = modeled_spmv_run(dora, rep, name, root,
+                                           sched="static", include_dp=True)
+            totals[f"kron_dp_static.{name}.sigma{sigma}"] = float(total)
+    rep = SlimSell(g, C, g.n)
+    for label, slim in (("slimwork_off", False), ("slimwork_on", True)):
+        _, _, total = modeled_spmv_run(dora, rep, "tropical", root,
+                                       sched="static", include_dp=False,
+                                       slimwork=slim)
+        totals[f"fig5d.{label}"] = float(total)
+    return {
+        "workload": {"scale": scale, "edgefactor": edgefactor, "seed": seed,
+                     "n": g.n, "m": g.m, "root": root, "C": C,
+                     "machine": "dora", "sigmas": sigmas},
+        "modeled_total_s": totals,
+    }
+
 
 def _sweep(machine, g, root, sched, include_dp):
     out = {name: [] for name in SEMIRINGS}

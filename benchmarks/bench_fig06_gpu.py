@@ -29,6 +29,49 @@ C = 32
 SIGMAS = [1, 4, 16, 64, 256, 1024, 4096]
 K80 = get_machine("tesla-k80")
 
+#: Deterministic smoke configuration for the regression gate: the K80
+#: σ sweep per semiring plus the SlimChunk on/off totals at full sort,
+#: all counted-work × cost-model numbers (no wall clock).
+QUICK = {"scale": 9, "edgefactor": 32, "seed": 2023,
+         "sigmas": [1, 32, 512]}
+
+
+def run_quick(scale: int | None = None, edgefactor: float | None = None,
+              seed: int | None = None) -> dict:
+    """Modeled Fig-6 numbers at a deterministic smoke scale."""
+    from repro.graphs.kronecker import kronecker
+
+    scale = QUICK["scale"] if scale is None else scale
+    edgefactor = QUICK["edgefactor"] if edgefactor is None else edgefactor
+    seed = QUICK["seed"] if seed is None else seed
+    sigmas = QUICK["sigmas"]
+    g = kronecker(scale, edgefactor, seed=seed)
+    root = int(np.argmax(g.degrees))
+    totals = {}
+    for sigma in sigmas:
+        rep = SlimSell(g, C, sigma)
+        for name in SEMIRINGS:
+            _, _, total = modeled_spmv_run(K80, rep, name, root,
+                                           sched="static", include_dp=True)
+            totals[f"kron.{name}.sigma{sigma}"] = float(total)
+    rep = SlimSell(g, C, g.n)
+    imbalances = {}
+    for label, split in (("slimchunk_off", None), ("slimchunk_on", 4)):
+        _, _, total = modeled_spmv_run(K80, rep, "tropical", root,
+                                       sched="static", include_dp=False,
+                                       slimchunk=split)
+        totals[f"fullsort.{label}"] = float(total)
+        costs = unit_costs(make_work_units(rep.cl, split), C)
+        imbalances[label] = float(
+            imbalance(schedule_static(costs, K80.units)))
+    return {
+        "workload": {"scale": scale, "edgefactor": edgefactor, "seed": seed,
+                     "n": g.n, "m": g.m, "root": root, "C": C,
+                     "machine": "tesla-k80", "sigmas": sigmas},
+        "imbalance": imbalances,
+        "modeled_total_s": totals,
+    }
+
 
 def test_fig6a_kronecker_sigma(kron_bench, benchmark):
     g = kron_bench

@@ -33,6 +33,42 @@ def _sigma_values(n):
             "n/4": max(1, n // 4), "n/8": max(1, n // 8)}
 
 
+#: Deterministic smoke configuration for the regression gate: storage
+#: cell counts are exact integers (format layout, no timing at all), so
+#: the committed baseline is a bit-exact change detector for the Table
+#: III / Fig 7 accounting.
+QUICK = {"grid": [(9, 32), (10, 16), (11, 8)], "seed": 77}
+
+
+def run_quick(grid=None, seed: int | None = None) -> dict:
+    """Exact Fig-7 storage cells at a deterministic smoke scale.
+
+    A reduced Kronecker ladder at σ ∈ {n, √n}: AL / Sell-C-σ / SlimSell
+    cells plus the SlimSell-over-AL ratio the paper's crossover argument
+    rests on.
+    """
+    grid = QUICK["grid"] if grid is None else grid
+    seed = QUICK["seed"] if seed is None else seed
+    cells = {}
+    for scale, ef in grid:
+        g = kronecker(scale, ef, seed=seed)
+        sigma_map = _sigma_values(g.n)
+        for label in ("n", "sqrt(n)"):
+            rep = storage_report(g, C, sigma_map[label])
+            cells[f"{scale}-{ef}|{label}"] = {
+                "al": int(rep.al_cells),
+                "sell": int(rep.sell_cells),
+                "slim": int(rep.slimsell_cells),
+                "padding": int(rep.padding_slots),
+                "slim_over_al": rep.slimsell_cells / rep.al_cells,
+            }
+    return {
+        "workload": {"grid": [list(p) for p in grid], "seed": seed, "C": C,
+                     "sigmas": ["n", "sqrt(n)"]},
+        "cells": cells,
+    }
+
+
 def test_fig7_kronecker_grid(benchmark):
     def compute():
         out = {}

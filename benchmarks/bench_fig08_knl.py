@@ -32,6 +32,29 @@ def _run(scale, ef):
     return [t.t_total for t in times], total
 
 
+#: Deterministic smoke configuration for the regression gate: the
+#: (log n, ρ) ladder's modeled SlimWork totals on the KNL descriptor
+#: (counted work × cost model, no wall clock).
+QUICK = {"grid": [(10, 8), (10, 16), (11, 8)]}
+
+
+def run_quick(grid=None) -> dict:
+    """Modeled Fig-8 totals at a deterministic smoke scale."""
+    grid = QUICK["grid"] if grid is None else grid
+    totals = {}
+    series = {}
+    for scale, ef in grid:
+        s, total = _run(scale, ef)
+        series[f"{scale}-{ef}"] = [float(t) for t in s]
+        totals[f"{scale}-{ef}"] = float(total)
+    return {
+        "workload": {"grid": [list(p) for p in grid], "seed": 88, "C": C,
+                     "machine": "knl", "semiring": "tropical"},
+        "series": series,
+        "modeled_total_s": totals,
+    }
+
+
 def test_fig8_knl_fine_grained(benchmark):
     results = benchmark.pedantic(
         lambda: {f"{s}-{e}": _run(s, e) for s, e in GRID_A + GRID_B},

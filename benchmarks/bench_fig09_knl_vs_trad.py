@@ -40,6 +40,32 @@ def _compare(scale, ef):
     return g, t_trad, t_spmv
 
 
+#: Deterministic smoke configuration for the regression gate: both
+#: schemes are modeled from counted work, so the speedup ratios and the
+#: SpMV totals are exact change detectors for the paper's headline
+#: traditional-vs-algebraic comparison.
+QUICK = {"grid": [(9, 64), (10, 32), (11, 8)]}
+
+
+def run_quick(grid=None) -> dict:
+    """Modeled Fig-9 totals and speedups at a deterministic smoke scale."""
+    grid = QUICK["grid"] if grid is None else grid
+    totals = {}
+    speedups = {}
+    for scale, ef in grid:
+        g, t_trad, t_spmv = _compare(scale, ef)
+        key = f"2^{scale}-{2 * ef}"
+        totals[f"{key}.spmv"] = float(sum(t_spmv))
+        totals[f"{key}.trad"] = float(sum(t_trad))
+        speedups[key] = float(sum(t_trad) / sum(t_spmv))
+    return {
+        "workload": {"grid": [list(p) for p in grid], "seed": 99, "C": C,
+                     "machine": "knl", "semiring": "sel-max"},
+        "modeled_total_s": totals,
+        "speedups": speedups,
+    }
+
+
 def test_fig9_knl_vs_traditional(benchmark):
     data = benchmark.pedantic(
         lambda: {f"2^{s}-{2 * e}": _compare(s, e) for s, e in GRID},

@@ -41,6 +41,32 @@ def _compare(ef):
     return g, t_cpu, t_gpu
 
 
+#: Deterministic smoke configuration for the regression gate: the
+#: CPU-trad / GPU-SpMV ratios and the GPU totals are modeled from
+#: counted work, so the cross-architecture story is gated exactly.
+QUICK = {"edgefactors": [8, 32, 64]}
+
+
+def run_quick(edgefactors=None) -> dict:
+    """Modeled Fig-10 totals and CPU/GPU ratios at smoke scale."""
+    edgefactors = (QUICK["edgefactors"] if edgefactors is None
+                   else edgefactors)
+    totals = {}
+    ratios = {}
+    for ef in edgefactors:
+        g, t_cpu, t_gpu = _compare(ef)
+        totals[f"ef{ef}.gpu_spmv"] = float(sum(t_gpu))
+        totals[f"ef{ef}.cpu_trad"] = float(sum(t_cpu))
+        ratios[f"ef{ef}"] = float(sum(t_cpu) / sum(t_gpu))
+    return {
+        "workload": {"scale": 11, "edgefactors": list(edgefactors),
+                     "seed": 55, "C": C, "cpu": "dora", "gpu": "tesla-k80",
+                     "semiring": "tropical"},
+        "modeled_total_s": totals,
+        "cpu_over_gpu": ratios,
+    }
+
+
 def test_fig10_gpu_spmv_vs_cpu_trad(benchmark):
     data = benchmark.pedantic(
         lambda: {ef: _compare(ef) for ef in RHOS}, rounds=1, iterations=1)

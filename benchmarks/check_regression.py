@@ -28,11 +28,21 @@ What is compared is deliberately machine-portable:
   the dist tier's checkpoint-vs-recompute overhead ratios: fully
   deterministic, gated exactly;
 * ``bench_fig01_headline`` — the modeled single-source Fig-1 totals
-  (counted work × KNL cost model: deterministic, like the dist series).
+  (counted work × KNL cost model: deterministic, like the dist series);
+* ``bench_fig05``–``bench_fig10`` — the paper-figure surface: modeled
+  σ-sweep / SlimWork / SlimChunk totals (Dora, K80, KNL), exact storage
+  cells, and the traditional-vs-algebraic and CPU-vs-GPU speedup ratios
+  — all counted-work × cost-model numbers, gated exactly;
+* ``bench_capacity`` — the capacity planner: per-target feasibility
+  counts, the cheapest configuration (rank count and its p99), the
+  chosen checkpoint interval's p99 under rank failures, and the
+  weighted-vs-uniform heterogeneous placement improvements (virtual
+  clocks + seeded streams: fully deterministic, gated exactly).
 
 Usage::
 
     python benchmarks/check_regression.py                   # gate (CI)
+    python benchmarks/check_regression.py --list            # gate names
     python benchmarks/check_regression.py --tolerance 0.4   # looser gate
     python benchmarks/check_regression.py --update-baselines
     python benchmarks/check_regression.py --inject 2.0      # self-test: a
@@ -280,6 +290,133 @@ def _extract_fig01(payload: dict) -> list[Point]:
     ]
 
 
+def _extract_modeled_totals(payload: dict) -> list[Point]:
+    """Shared extractor of the fig benches' ``modeled_total_s`` dicts:
+    every entry is a counted-work × cost-model time, lower is better."""
+    return [
+        Point(f"{name}.modeled_total_s", value, "lower", True)
+        for name, value in payload["modeled_total_s"].items()
+    ]
+
+
+def _make_fig_runner(module_name: str):
+    def _run() -> dict:
+        import importlib
+
+        return importlib.import_module(module_name).run_quick()
+
+    return _run
+
+
+def _extract_fig07(payload: dict) -> list[Point]:
+    # Storage cells are exact integers (format layout, no timing): gate
+    # the SlimSell cell count and its ratio to AL bit for bit.
+    points = []
+    for key, v in payload["cells"].items():
+        points.append(
+            Point(f"{key}.slim_cells", float(v["slim"]), "lower", False)
+        )
+        points.append(
+            Point(f"{key}.slim_over_al", v["slim_over_al"], "lower", False)
+        )
+    return points
+
+
+def _extract_fig09(payload: dict) -> list[Point]:
+    points = _extract_modeled_totals(payload)
+    points.extend(
+        Point(f"{key}.speedup_vs_trad", value, "higher", False)
+        for key, value in payload["speedups"].items()
+    )
+    return points
+
+
+def _extract_fig10(payload: dict) -> list[Point]:
+    points = _extract_modeled_totals(payload)
+    points.extend(
+        Point(f"{key}.cpu_over_gpu", value, "higher", False)
+        for key, value in payload["cpu_over_gpu"].items()
+    )
+    return points
+
+
+def _run_capacity_quick() -> dict:
+    import bench_capacity as m
+
+    return m.run_sweep(
+        m.QUICK["scale"],
+        m.QUICK["edgefactor"],
+        m.QUICK["targets"],
+        m.QUICK["ranks"],
+        m.QUICK["max_batches"],
+        m.QUICK["nqueries"],
+        m.QUICK["root_pool"],
+        m.QUICK["zipf"],
+        m.QUICK["fault_prob"],
+        m.QUICK["fault_target"],
+        m.QUICK["checkpoint_intervals"],
+        m.QUICK["hetero_machines"],
+    )
+
+
+def _extract_capacity(payload: dict) -> list[Point]:
+    # Virtual clocks + seeded streams + modeled service times: the whole
+    # plan is deterministic, so the planner's *answers* gate exactly —
+    # fewer feasible configs, a costlier cheapest configuration, a worse
+    # chosen checkpoint policy, or a smaller placement win all fail.
+    points = []
+    for t in payload["plan"]["targets"]:
+        key = f"qps={t['qps']:g}"
+        points.append(
+            Point(
+                f"{key}.feasible_configs",
+                float(t["feasible_configs"]),
+                "higher",
+                False,
+            )
+        )
+        best = t["best"]
+        if best is not None:
+            points.append(
+                Point(f"{key}.best_ranks", float(best["ranks"]), "lower", False)
+            )
+            points.append(
+                Point(
+                    f"{key}.best_p99_s",
+                    best["latency_p99_s"],
+                    "lower",
+                    False,
+                )
+            )
+    fcell = payload["faulty"]["grid"][0]["per_target"][0]
+    points.append(
+        Point(
+            "faulty.chosen_ckpt_p99_s",
+            fcell["latency_p99_s"],
+            "lower",
+            False,
+        )
+    )
+    pl = payload["placement"]
+    points.append(
+        Point(
+            "placement.sweep_improvement",
+            pl["sweep_improvement"],
+            "higher",
+            False,
+        )
+    )
+    points.append(
+        Point(
+            "placement.p99_improvement",
+            pl["p99_improvement"],
+            "higher",
+            False,
+        )
+    )
+    return points
+
+
 # (baseline file, quick runner, point extractor, deterministic?) — a
 # deterministic bench's points are pure functions of the code, so the
 # best-of-N noise envelope degenerates and one sweep suffices.
@@ -306,7 +443,58 @@ BENCHES = {
         True,
     ),
     "fig01": ("BENCH_fig01.json", _run_fig01_quick, _extract_fig01, True),
+    "fig05": (
+        "BENCH_fig05.json",
+        _make_fig_runner("bench_fig05_cpu_sigma"),
+        _extract_modeled_totals,
+        True,
+    ),
+    "fig06": (
+        "BENCH_fig06.json",
+        _make_fig_runner("bench_fig06_gpu"),
+        _extract_modeled_totals,
+        True,
+    ),
+    "fig07": (
+        "BENCH_fig07.json",
+        _make_fig_runner("bench_fig07_storage"),
+        _extract_fig07,
+        True,
+    ),
+    "fig08": (
+        "BENCH_fig08.json",
+        _make_fig_runner("bench_fig08_knl"),
+        _extract_modeled_totals,
+        True,
+    ),
+    "fig09": (
+        "BENCH_fig09.json",
+        _make_fig_runner("bench_fig09_knl_vs_trad"),
+        _extract_fig09,
+        True,
+    ),
+    "fig10": (
+        "BENCH_fig10.json",
+        _make_fig_runner("bench_fig10_gpu_vs_cpu"),
+        _extract_fig10,
+        True,
+    ),
+    "capacity": (
+        "BENCH_capacity.json",
+        _run_capacity_quick,
+        _extract_capacity,
+        True,
+    ),
 }
+
+
+def list_benches() -> int:
+    """Print every registered gate: name, baseline file, determinism."""
+    width = max(len(name) for name in BENCHES)
+    for name, (fname, _run, _extract, deterministic) in BENCHES.items():
+        kind = "deterministic" if deterministic else "timing"
+        print(f"{name:<{width}}  {fname:<26}  {kind}")
+    return 0
 
 
 def _load_baseline(path: Path) -> dict:
@@ -465,7 +653,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(BENCHES),
         help="restrict to one bench (repeatable); default: all",
     )
+    ap.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered gates (name, baseline file, kind) and exit",
+    )
     args = ap.parse_args(argv)
+    if args.list:
+        return list_benches()
     baseline_dir = Path(args.baseline_dir)
     if args.update_baselines:
         return update_baselines(baseline_dir, args.repeats, args.only)

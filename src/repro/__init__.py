@@ -112,6 +112,13 @@ _LAZY_EXPORTS = {
     "run_closed_loop": ("repro.serve.workload", "run_closed_loop"),
     "poisson_arrivals": ("repro.serve.workload", "poisson_arrivals"),
     "sample_zipf_roots": ("repro.serve.workload", "sample_zipf_roots"),
+    # repro.serve.plan — the offline capacity planner (serve traffic priced
+    # by the dist models); lazy because it pulls in both tiers at once.
+    "DistServiceModel": ("repro.serve.plan", "DistServiceModel"),
+    "plan_capacity": ("repro.serve.plan", "plan_capacity"),
+    "compare_placement": ("repro.serve.plan", "compare_placement"),
+    "machine_weights": ("repro.dist.partition", "machine_weights"),
+    "get_machines": ("repro.vec.machine", "get_machines"),
 }
 
 
@@ -203,5 +210,10 @@ __all__ = [
     "run_closed_loop",
     "poisson_arrivals",
     "sample_zipf_roots",
+    "DistServiceModel",
+    "plan_capacity",
+    "compare_placement",
+    "machine_weights",
+    "get_machines",
     "__version__",
 ]

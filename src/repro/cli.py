@@ -10,6 +10,8 @@ Subcommands
 ``dist``      simulate the §VI distributed BFS (1D ranks or a 2D grid)
 ``exec``      execute the row-sharded parallel sweep (and calibrate models)
 ``serve``     run the micro-batching query server under a simulated load
+``plan``      offline capacity planner: serve traffic priced by the dist
+              models, swept over ranks × network × batch × checkpoints
 """
 
 from __future__ import annotations
@@ -435,6 +437,120 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _parse_targets(specs: list[str]) -> list[tuple[float, float]]:
+    """Parse ``--target QPS:P99_MS`` pairs into (qps, p99_seconds)."""
+    targets = []
+    for spec in specs:
+        qps_s, sep, p99_s = spec.partition(":")
+        if not sep:
+            raise SystemExit(
+                f"--target must be QPS:P99_MS (e.g. 5000:2), got {spec!r}")
+        try:
+            qps, p99_ms = float(qps_s), float(p99_s)
+        except ValueError:
+            raise SystemExit(f"bad --target {spec!r}: both fields must be "
+                             f"numbers") from None
+        if not qps > 0 or not p99_ms > 0:
+            raise SystemExit(f"bad --target {spec!r}: QPS and P99_MS must "
+                             f"be positive")
+        targets.append((qps, p99_ms * 1e-3))
+    return targets
+
+
+def _cmd_plan(args) -> int:
+    from repro.serve.plan import compare_placement, plan_capacity
+
+    targets = _parse_targets(args.target)
+    if args.queries < 1:
+        raise SystemExit(f"--queries must be >= 1, got {args.queries}")
+    if args.root_pool < 1:
+        raise SystemExit(f"--root-pool must be >= 1, got {args.root_pool}")
+    if not 0.0 <= args.fault_rate < 1.0:
+        raise SystemExit(
+            f"--fault-rate must be in [0, 1), got {args.fault_rate:g}")
+    intervals: list[int | None] = []
+    for part in args.checkpoints.split(","):
+        part = part.strip()
+        if part in ("never", "none", ""):
+            intervals.append(None)
+        elif part.isdigit() and int(part) >= 1:
+            intervals.append(int(part))
+        else:
+            raise SystemExit(f"--checkpoints entries must be 'never' or a "
+                             f"positive integer, got {part!r}")
+    g = _load_graph(args.graph)
+
+    if args.ablate_placement:
+        if args.machines is None:
+            raise SystemExit("--ablate-placement requires --machines")
+        out = compare_placement(
+            g, args.machines, network=args.networks.split(",")[0],
+            max_batch=args.max_batches_list[0], target=targets[0],
+            nqueries=args.queries, root_pool=args.root_pool,
+            zipf=args.zipf, seed=args.seed, max_wait=args.max_wait,
+            C=args.chunk)
+        print(f"placement ablation on {'+'.join(out['machines'])} "
+              f"({out['network']}, max_batch={out['max_batch']})")
+        print(f"weights: {[round(w, 3) for w in out['weights']]}")
+        for label in ("weighted", "uniform"):
+            r = out[label]
+            print(f"  {label:9s} pool sweep {r['pool_sweep_s'] * 1e3:.3f} ms  "
+                  f"p99 {r['latency_p99_s'] * 1e3:.3f} ms  "
+                  f"rows/rank {r['work_per_rank']}")
+        print(f"weighted placement is {out['sweep_improvement']:.2f}x on the "
+              f"sweep, {out['p99_improvement']:.2f}x on served p99")
+        return 0
+
+    plan = plan_capacity(
+        g, targets, ranks=args.ranks_list, networks=args.networks.split(","),
+        max_batches=args.max_batches_list, machine=args.machine,
+        machines=args.machines, placement=args.placement,
+        rank_failure_prob=args.fault_rate, checkpoint_intervals=intervals,
+        nqueries=args.queries, root_pool=args.root_pool, zipf=args.zipf,
+        seed=args.seed, fault_seed=args.fault_seed, max_wait=args.max_wait,
+        overlap=args.overlap, C=args.chunk, cache=not args.no_cache)
+
+    w = plan["workload"]
+    print(f"capacity plan: n={w['n']} m={w['m']} {w['nqueries']} queries, "
+          f"zipf s={w['zipf']:g} over {w['root_pool']} roots, "
+          f"fault rate {w['rank_failure_prob']:g}")
+    header = (f"{'ranks':>5s} {'network':>13s} {'batch':>5s} "
+              f"{'ckpt':>5s} {'p99 ms':>9s} {'qps':>9s} feasible")
+    for t_index, t in enumerate(plan["targets"]):
+        print(f"-- target {t['qps']:g} qps at p99 <= "
+              f"{t['p99_target_s'] * 1e3:g} ms "
+              f"({t['feasible_configs']}/{len(plan['grid'])} feasible)")
+        if args.verbose:
+            print(header)
+            for row in plan["grid"]:
+                c = row["per_target"][t_index]
+                ck = ("never" if c["checkpoint_interval"] is None
+                      else str(c["checkpoint_interval"]))
+                print(f"{row['ranks']:>5d} {row['network']:>13s} "
+                      f"{row['max_batch']:>5d} {ck:>5s} "
+                      f"{c['latency_p99_s'] * 1e3:>9.3f} "
+                      f"{c['virtual_throughput_qps']:>9.0f} "
+                      f"{'yes' if c['feasible'] else 'no'}")
+        best = t["best"]
+        if best is None:
+            print("   infeasible: no swept configuration meets this target")
+        else:
+            ck = ("never" if best["checkpoint_interval"] is None
+                  else str(best["checkpoint_interval"]))
+            print(f"   cheapest: {best['ranks']} x {best['machine']} on "
+                  f"{best['network']}, max_batch={best['max_batch']}, "
+                  f"checkpoint={ck} -> p99 "
+                  f"{best['latency_p99_s'] * 1e3:.3f} ms at "
+                  f"{best['virtual_throughput_qps']:.0f} qps")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(plan, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_machines(_args) -> int:
     from repro.vec.machine import MACHINES
 
@@ -644,6 +760,67 @@ def build_parser() -> argparse.ArgumentParser:
                          "while the circuit breaker is open")
     sv.add_argument("--verbose", "-v", action="store_true")
     sv.set_defaults(fn=_cmd_serve)
+
+    def _int_list(spec: str) -> list[int]:
+        try:
+            values = [int(x) for x in spec.split(",") if x.strip()]
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected a comma list of integers, got {spec!r}") from None
+        if not values or any(v < 1 for v in values):
+            raise argparse.ArgumentTypeError(
+                f"expected positive integers, got {spec!r}")
+        return values
+
+    pl = sub.add_parser(
+        "plan", help="offline capacity planner: serve traffic priced by "
+                     "the distributed models")
+    pl.add_argument("graph", help="graph file or generator spec")
+    pl.add_argument("--target", action="append", required=True,
+                    metavar="QPS:P99_MS",
+                    help="a (throughput, latency) target, e.g. 5000:2; "
+                         "repeat for several targets")
+    pl.add_argument("--ranks", dest="ranks_list", type=_int_list,
+                    default=[1, 2, 4, 8],
+                    help="comma list of rank counts to sweep")
+    pl.add_argument("--networks", default="cray-aries,ethernet-10g",
+                    help="comma list of network presets to sweep")
+    pl.add_argument("--max-batches", dest="max_batches_list", type=_int_list,
+                    default=[1, 8, 32],
+                    help="comma list of server max_batch widths to sweep")
+    pl.add_argument("--machine", default="knl",
+                    help="homogeneous node descriptor (name[@factor])")
+    pl.add_argument("--machines", default=None,
+                    help="heterogeneous per-rank machine list, e.g. "
+                         "'knl*3,knl@0.5' (fixes the rank count)")
+    pl.add_argument("--placement", choices=["weighted", "uniform"],
+                    default="weighted",
+                    help="heterogeneous row placement policy")
+    pl.add_argument("--ablate-placement", action="store_true",
+                    help="compare weighted vs uniform placement on "
+                         "--machines instead of sweeping capacity")
+    pl.add_argument("--fault-rate", type=float, default=0.0,
+                    help="per-iteration per-rank failure probability")
+    pl.add_argument("--checkpoints", default="never",
+                    help="comma list of checkpoint intervals to sweep "
+                         "('never' or iteration counts, e.g. never,2,4)")
+    pl.add_argument("--fault-seed", type=int, default=0)
+    pl.add_argument("--queries", "-n", type=int, default=256)
+    pl.add_argument("--root-pool", type=int, default=64)
+    pl.add_argument("--zipf", type=float, default=1.1)
+    pl.add_argument("--max-wait", type=float, default=1e-3,
+                    help="seconds a query may wait for its batch to fill")
+    pl.add_argument("--overlap", type=float, default=0.0,
+                    help="fraction of each collective hidden behind compute")
+    pl.add_argument("--no-cache", action="store_true",
+                    help="disable the server's result cache")
+    pl.add_argument("--chunk", "-C", type=int, default=16)
+    pl.add_argument("--seed", type=int, default=1)
+    pl.add_argument("--json", default=None,
+                    help="also write the full plan payload to this path")
+    pl.add_argument("--verbose", "-v", action="store_true",
+                    help="print the full feasibility table per target")
+    pl.set_defaults(fn=_cmd_plan)
     return p
 
 

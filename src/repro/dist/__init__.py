@@ -33,7 +33,7 @@ Modules
 ``result``     per-iteration profile and result containers
 """
 
-from repro.dist.bfs1d import bfs_dist_1d
+from repro.dist.bfs1d import bfs_dist_1d, profile_1d
 from repro.dist.bfs2d import bfs_dist_2d
 from repro.dist.calibrate import (
     CalibrationIteration,
@@ -57,7 +57,7 @@ from repro.dist.network import (
     model_reduce_scatter,
     model_transpose,
 )
-from repro.dist.partition import Partition1D
+from repro.dist.partition import Partition1D, machine_weights
 from repro.dist.result import DistBatchResult, DistBFSResult, DistIterationStats
 
 __all__ = [
@@ -83,4 +83,6 @@ __all__ = [
     "DistFaultModel",
     "DistIterationStats",
     "apply_dist_faults",
+    "machine_weights",
+    "profile_1d",
 ]

@@ -57,14 +57,49 @@ from repro.perf.costmodel import BYTES_PER_WORD
 from repro.semirings.base import get_semiring
 from repro.vec.machine import Machine
 
-__all__ = ["bfs_dist_1d"]
+__all__ = ["bfs_dist_1d", "machine_label", "per_rank_machines", "profile_1d"]
 
 
-def _profile_1d(rep: SellCSigma, partition: Partition1D, machine: Machine,
-                network: Network, slimwork: bool, overlap: float,
-                schedule) -> list[DistIterationStats]:
-    """Map a union iteration schedule onto 1D ranks and the wire."""
+def per_rank_machines(machine, ranks: int) -> list[Machine]:
+    """Normalize a node descriptor spec to one :class:`Machine` per rank.
+
+    A single :class:`Machine` models a homogeneous cluster (every rank on
+    the same descriptor); a sequence models a heterogeneous one — rank
+    ``r`` runs on ``machine[r]``, so its length must equal ``ranks``.
+    """
+    if isinstance(machine, Machine):
+        return [machine] * ranks
+    machines = list(machine)
+    if len(machines) != ranks:
+        raise ValueError(
+            f"heterogeneous machine list has {len(machines)} entries "
+            f"but the partition has {ranks} ranks")
+    return machines
+
+
+def machine_label(machine) -> str:
+    """Report label of a machine spec: one name, or the per-rank list."""
+    if isinstance(machine, Machine):
+        return machine.name
+    names = [m.name for m in machine]
+    if len(set(names)) == 1:
+        return names[0]
+    return "+".join(names)
+
+
+def profile_1d(rep: SellCSigma, partition: Partition1D, machine,
+               network: Network, slimwork: bool, overlap: float,
+               schedule) -> list[DistIterationStats]:
+    """Map a union iteration schedule onto 1D ranks and the wire.
+
+    ``machine`` is a single :class:`Machine` (homogeneous ranks) or a
+    per-rank sequence (heterogeneous cluster: the barrier waits for the
+    slowest rank *on its own descriptor*, which is what weighted
+    placement exists to rebalance).  This is the profiling seam the
+    capacity planner (:mod:`repro.serve.plan`) charges batches through.
+    """
     ranks = partition.ranks
+    machines = per_rank_machines(machine, ranks)
     semiring = get_semiring("tropical")
     slim = not rep.has_val
     owned = partition.counts_per_rank()
@@ -75,7 +110,7 @@ def _profile_1d(rep: SellCSigma, partition: Partition1D, machine: Machine,
         layers = partition.sum_by_rank(rep.cl, active)
         rank_lanes = layers * rep.C
         t_local = max(
-            modeled_local_seconds(machine, semiring, rep.C, slim,
+            modeled_local_seconds(machines[r], semiring, rep.C, slim,
                                   int(processed[r]),
                                   int(owned[r] - processed[r]),
                                   int(layers[r]), slimwork, batch=width)
@@ -100,7 +135,7 @@ def bfs_dist_1d(
     rep: SellCSigma,
     root,
     partition: Partition1D,
-    machine: Machine,
+    machine: Machine | list[Machine] | tuple[Machine, ...],
     network: Network,
     *,
     slimwork: bool = True,
@@ -121,7 +156,12 @@ def bfs_dist_1d(
     partition:
         Chunk → rank assignment; must cover all ``rep.nc`` chunks.
     machine:
-        Node descriptor used to model each rank's local SpMV.
+        Node descriptor used to model each rank's local SpMV, or a
+        per-rank sequence of descriptors (one entry per partition rank)
+        modeling a heterogeneous cluster — each iteration's barrier then
+        waits for the slowest rank *on its own machine*.  Pair with
+        ``Partition1D.balanced(weights=machine_weights(...))`` so weak
+        ranks own proportionally less work.
     network:
         Interconnect descriptor used to model the frontier allgather.
     slimwork:
@@ -164,11 +204,12 @@ def bfs_dist_1d(
         return simulate_batched(
             rep, root, batch=batch, slimwork=slimwork,
             profile=lambda schedule: faulted_profile(
-                _profile_1d(rep, partition, machine, network, slimwork,
-                            overlap, schedule),
+                profile_1d(rep, partition, machine, network, slimwork,
+                           overlap, schedule),
                 injector, ranks=partition.ranks, network=network,
                 nwords=rep.N, bytes_per_word=BYTES_PER_WORD),
-            method=method, ranks=partition.ranks, machine=machine.name,
+            method=method, ranks=partition.ranks,
+            machine=machine_label(machine),
             network=network.name, overlap=overlap)
     if batch is not None and batch != 1:
         raise ValueError("batch= requires a sequence of roots; "
@@ -184,13 +225,13 @@ def bfs_dist_1d(
         for it in res.iterations
     ]
     iterations = faulted_profile(
-        _profile_1d(rep, partition, machine, network, slimwork, overlap,
-                    schedule),
+        profile_1d(rep, partition, machine, network, slimwork, overlap,
+                   schedule),
         injector, ranks=partition.ranks, network=network, nwords=rep.N,
         bytes_per_word=BYTES_PER_WORD)
 
     return DistBFSResult(
         dist=res.dist, root=root, method=method, ranks=partition.ranks,
-        machine=machine.name, network=network.name, iterations=iterations,
-        wall_time_s=time.perf_counter() - t0,
+        machine=machine_label(machine), network=network.name,
+        iterations=iterations, wall_time_s=time.perf_counter() - t0,
     )

@@ -13,7 +13,38 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Partition1D"]
+__all__ = ["Partition1D", "machine_weights"]
+
+
+def machine_weights(machines, rep, *, slimwork: bool = True) -> np.ndarray:
+    """Per-rank placement weights from :class:`~repro.vec.machine.Machine`
+    descriptors: each rank's modeled throughput on a reference sweep.
+
+    Weight ``w[r]`` is the reciprocal of the time rank ``r``'s descriptor
+    needs for the whole representation (every chunk, single column) under
+    the same cost model :func:`~repro.dist.bfs1d.profile_1d` charges — so
+    ``Partition1D.balanced(rep.cl, P, weights=machine_weights(...))``
+    equalizes per-rank *time* on a mixed cluster by construction, not by
+    heuristic.  Identical descriptors produce an exactly uniform vector,
+    which ``balanced`` maps to the unweighted bounds bit for bit.
+    """
+    from repro.dist.result import modeled_local_seconds
+    from repro.semirings.base import get_semiring
+
+    machines = list(machines)
+    if not machines:
+        raise ValueError("machines must be non-empty")
+    semiring = get_semiring("tropical")
+    slim = not rep.has_val
+    layers = int(np.asarray(rep.cl).sum())
+    t_ref = np.array([
+        modeled_local_seconds(m, semiring, rep.C, slim, rep.nc, 0, layers,
+                              slimwork, batch=1)
+        for m in machines], dtype=np.float64)
+    if not (np.isfinite(t_ref).all() and (t_ref > 0).all()):
+        raise ValueError("reference sweep must model positive finite time")
+    w = 1.0 / t_ref
+    return w / w.max()
 
 
 class Partition1D:

@@ -28,7 +28,16 @@ single-root queries.  This subsystem is the layer between the two:
   SpMM for wide ones), pluggable via ``strategy=``;
 * :mod:`~repro.serve.workload` — closed-loop and open-loop (Poisson
   arrivals, Zipfian roots) generators driving the server on a virtual
-  arrival clock.
+  arrival clock;
+* :mod:`~repro.serve.plan` — the offline capacity planner: replays the
+  open-loop workload through the server while each dispatched batch is
+  priced by the §VI distributed models
+  (:class:`~repro.serve.plan.DistServiceModel`), sweeping rank count ×
+  network × batch width × checkpoint interval to the cheapest feasible
+  configuration per (qps, p99) target
+  (:func:`~repro.serve.plan.plan_capacity`), with
+  heterogeneous-placement ablation
+  (:func:`~repro.serve.plan.compare_placement`).
 
 * :mod:`~repro.serve.faults` — the failure surface: seed-driven
   :class:`~repro.serve.faults.FaultPlan` /
@@ -55,6 +64,14 @@ from repro.serve.faults import (
     TransientKernelFault,
 )
 from repro.serve.mshr import MissStatusRegistry, MSHREntry, MSHRStats
+from repro.serve.plan import (
+    DistServiceModel,
+    ReplayEnginePool,
+    SweepCache,
+    best_configuration,
+    compare_placement,
+    plan_capacity,
+)
 from repro.serve.query import (
     Failed,
     Query,
@@ -77,6 +94,7 @@ __all__ = [
     "Batch",
     "CacheStats",
     "CircuitBreaker",
+    "DistServiceModel",
     "EnginePool",
     "Failed",
     "FaultInjector",
@@ -90,14 +108,19 @@ __all__ = [
     "QueryBatcher",
     "QueryResult",
     "Rejected",
+    "ReplayEnginePool",
     "ResultCache",
     "ServeStats",
     "Server",
+    "SweepCache",
     "Ticket",
     "TimedOut",
     "TransientKernelFault",
+    "best_configuration",
+    "compare_placement",
     "default_strategy",
     "graph_fingerprint",
+    "plan_capacity",
     "poisson_arrivals",
     "run_closed_loop",
     "run_open_loop",

@@ -261,6 +261,14 @@ class Server:
         kernel time on the virtual timeline (the engine still runs for
         real answers).  Makes completion times — hence timeouts, breaker
         cooldowns, goodput — deterministic for tests and benchmarks.
+    batch_service_model:
+        Optional ``roots -> seconds`` callable (``roots`` the dispatched
+        batch's int64 root array) replacing the measured kernel time with
+        a cost computed from the *actual batch composition*, not just its
+        width.  This is the capacity planner's seam
+        (:class:`~repro.serve.plan.DistServiceModel` charges each batch
+        the distributed model's union-sweep time); mutually exclusive
+        with ``service_model``.
     """
 
     def __init__(self, graph_or_rep: Graph | SellCSigma, *, C: int = 16,
@@ -275,7 +283,13 @@ class Server:
                  max_retries: int = 2, retry_backoff: float = 1e-3,
                  breaker: CircuitBreaker | None = None,
                  serve_stale: bool = False,
-                 service_model: Callable[[int], float] | None = None):
+                 service_model: Callable[[int], float] | None = None,
+                 batch_service_model: Callable[[np.ndarray], float] | None
+                 = None):
+        if service_model is not None and batch_service_model is not None:
+            raise ValueError(
+                "service_model and batch_service_model are mutually "
+                "exclusive: one virtual timeline per server")
         if max_pending is not None and max_pending < 1:
             raise ValueError(
                 f"max_pending must be >= 1 or None, got {max_pending}")
@@ -309,6 +323,7 @@ class Server:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.serve_stale = serve_stale
         self.service_model = service_model
+        self.batch_service_model = batch_service_model
         #: The configured width trigger, restored when the breaker closes
         #: (opens halve ``batcher.max_batch`` to drain faster).
         self._configured_max_batch = max_batch
@@ -563,7 +578,9 @@ class Server:
                 raise
             kernel = time.perf_counter() - t0
             break
-        if self.service_model is not None:
+        if self.batch_service_model is not None:
+            kernel = self.batch_service_model(batch.roots)
+        elif self.service_model is not None:
             kernel = self.service_model(batch.width)
         if self.faults is not None:
             kernel *= self.faults.straggler()

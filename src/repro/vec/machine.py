@@ -61,6 +61,26 @@ class Machine:
     random_penalty: float = 8.0
     scalar_penalty: float = 1.0
 
+    def scaled(self, factor: float) -> "Machine":
+        """A derated (or uprated) copy: clock and bandwidth × ``factor``.
+
+        The descriptor-level way to express big.LITTLE mixes and chronic
+        stragglers for the heterogeneous-placement path: ``knl.scaled(0.5)``
+        is a node of the same architecture at half the compute *and* memory
+        throughput, so the cost model slows every term coherently.  The name
+        gains an ``@factor`` suffix (``"knl@0.5"``) for report labels.
+        """
+        factor = float(factor)
+        if not factor > 0:
+            raise ValueError(f"scale factor must be > 0, got {factor}")
+        if factor == 1.0:
+            return self
+        from dataclasses import replace
+
+        return replace(self, name=f"{self.name}@{factor:g}",
+                       ghz=self.ghz * factor,
+                       bandwidth_gbs=self.bandwidth_gbs * factor)
+
     @property
     def vector_throughput(self) -> float:
         """Vector instructions retired per second across the machine."""
@@ -132,10 +152,43 @@ MACHINES: dict[str, Machine] = {
 
 
 def get_machine(name: str) -> Machine:
-    """Look up one of the seven evaluation systems by name."""
+    """Look up one of the seven evaluation systems by name.
+
+    A ``name@factor`` suffix derates the descriptor via
+    :meth:`Machine.scaled` (``"knl@0.5"`` = a KNL at half throughput), so
+    heterogeneous cluster specs stay plain strings end to end.
+    """
+    base, _, factor = name.partition("@")
     try:
-        return MACHINES[name]
+        machine = MACHINES[base]
     except KeyError:
         raise KeyError(
-            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+            f"unknown machine {base!r}; available: {sorted(MACHINES)}"
         ) from None
+    if not factor:
+        return machine
+    try:
+        return machine.scaled(float(factor))
+    except ValueError as exc:
+        raise KeyError(f"bad machine spec {name!r}: {exc}") from None
+
+
+def get_machines(spec: str | list[str]) -> list[Machine]:
+    """Parse a per-rank machine list: ``"knl,knl,knl@0.5"`` or
+    ``"knl*3,dora"`` (a ``*count`` suffix repeats an entry).  The result
+    feeds heterogeneous placement — one descriptor per rank."""
+    parts = spec.split(",") if isinstance(spec, str) else list(spec)
+    machines: list[Machine] = []
+    for part in parts:
+        name, _, count = part.strip().partition("*")
+        n = 1
+        if count:
+            if not count.isdigit() or int(count) < 1:
+                raise KeyError(
+                    f"bad machine spec {part!r}: *count must be a "
+                    f"positive integer")
+            n = int(count)
+        machines.extend([get_machine(name)] * n)
+    if not machines:
+        raise KeyError("empty machine list")
+    return machines

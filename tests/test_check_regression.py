@@ -202,3 +202,33 @@ class TestBestPoints:
         best = gate._best_points(run, extract, 3)
         assert best["hi"].value == 5.0
         assert best["lo"].value == 3.0
+
+
+class TestListFlag:
+    def test_list_prints_registered_gates(self, gate, capsys):
+        # --list shows every registered gate without running any sweep.
+        rc = gate.main(["--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name, (fname, _run, _extract, _det) in gate.BENCHES.items():
+            assert name in out
+            assert fname in out
+
+    def test_list_marks_determinism(self, gate, capsys):
+        run, extract = make_bench(gate, {"speedup": 4.0, "bytes": 1000})
+        gate.BENCHES = {
+            "det": ("BENCH_det.json", run, extract, True),
+            "timed": ("BENCH_timed.json", run, extract, False),
+        }
+        assert gate.main(["--list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        kinds = {ln.split()[0]: ln.split()[-1] for ln in lines if ln}
+        assert kinds["det"] == "deterministic"
+        assert kinds["timed"] == "timing"
+
+    def test_list_skips_the_gate_run(self, gate, capsys, tmp_path):
+        # No baseline files exist, which would make check() exit 2 — but
+        # --list must short-circuit before any sweep or baseline read.
+        gate.BENCHES = {"ghost": ("BENCH_ghost.json", None, None, True)}
+        assert gate.main(["--list"]) == 0
+        assert "ghost" in capsys.readouterr().out
