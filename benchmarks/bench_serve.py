@@ -129,6 +129,77 @@ def run_zipf_ablation(rep, pool: np.ndarray, nqueries: int,
     }
 
 
+def run_trace_overhead(rep, pool: np.ndarray, nqueries: int, zipf: float,
+                       max_batch: int, seed: int = 1) -> dict:
+    """Tracing cost and span-tree/latency consistency, gated by CI.
+
+    Two questions:
+
+    * **Disabled-path overhead** — ``tracer=None`` must stay the same
+      code path as before tracing existed.  Measured as the per-submit
+      wall time of the pure cache-hit path (no kernel, no allocation)
+      with the tracer off, divided by the same loop with it on: a
+      machine-portable ratio well below 1.0, because the traced loop
+      does strictly more work.  If guard-free span work ever leaks onto
+      the disabled path the ratio climbs toward 1.0 and the gate trips.
+    * **Span/latency consistency** — in a traced run the closed
+      ``serve.query`` root spans must sum to the stats' reported
+      latencies (both clocks are virtual, so near-exactly); and the
+      span-per-query rate is a seed-deterministic change detector for
+      the instrumentation surface itself.
+    """
+    from repro.obs.trace import Tracer
+
+    hot, n, reps = int(pool[0]), 2000, 3
+
+    def per_submit_s(tracer) -> float:
+        server = Server(rep, max_batch=max_batch, max_wait=MAX_WAIT_S,
+                        cache_size=1, tracer=tracer)
+        server.submit(hot, now=0.0)
+        server.drain(now=0.0)
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            for i in range(n):
+                server.submit(hot, now=1.0 + i * 1e-6)
+            best = min(best, time.perf_counter() - t0)
+            if tracer is not None:
+                tracer.clear()
+        return best / n
+
+    disabled = per_submit_s(None)
+    enabled = per_submit_s(Tracer())
+
+    # One fully traced burst run (cache off: every query takes the
+    # kernel path), checked against its own report.
+    roots = sample_zipf_roots(pool, nqueries, zipf, seed=seed)
+    tracer = Tracer()
+    server = Server(rep, max_batch=max_batch, max_wait=MAX_WAIT_S,
+                    cache_size=0, tracer=tracer)
+    report = run_open_loop(server, roots, np.zeros(nqueries),
+                           params={"zipf": float(zipf), "seed": seed})
+    qspans = [s for s in tracer.spans if s.name == "serve.query"]
+    span_latency_s = sum(s.duration_s for s in qspans)
+    reported_s = report["latency_mean_s"] * (report["served"]
+                                             - report["cache_hits"])
+    consistent = (
+        len(qspans) == nqueries
+        and all(s.t_end is not None for s in tracer.spans)
+        and abs(span_latency_s - reported_s)
+        <= 1e-6 * max(1.0, reported_s))
+    return {
+        "max_batch": max_batch,
+        "submit_us_disabled": disabled * 1e6,
+        "submit_us_enabled": enabled * 1e6,
+        "disabled_over_enabled": disabled / enabled,
+        "spans": len(tracer.spans),
+        "spans_per_query": len(tracer.spans) / nqueries,
+        "span_latency_s": span_latency_s,
+        "reported_latency_s": reported_s,
+        "span_latency_consistent": bool(consistent),
+    }
+
+
 def run_sweep(scale: int, edgefactor: float, nqueries: int, root_pool: int,
               zipf: float, max_batches: list[int], rates: list[float],
               zipfs: list[float], seed: int = 1) -> dict:
@@ -198,6 +269,7 @@ def run_sweep(scale: int, edgefactor: float, nqueries: int, root_pool: int,
 
     mshr_zipf = run_zipf_ablation(rep, pool, nqueries, zipfs, wide,
                                   seed=seed)
+    trace = run_trace_overhead(rep, pool, nqueries, zipf, wide, seed=seed)
 
     best = max(grid, key=lambda r: r["speedup_vs_per_query"])
     return {
@@ -211,6 +283,7 @@ def run_sweep(scale: int, edgefactor: float, nqueries: int, root_pool: int,
         "grid": grid,
         "cache_reference": cache_row,
         "mshr_zipf": mshr_zipf,
+        "trace": trace,
         "best_speedup_vs_per_query": best["speedup_vs_per_query"],
         "best_point": {"rate": best["rate"], "B": best["B"]},
         "identical_to_direct": bool(identical_all),
@@ -246,6 +319,12 @@ def print_report(payload: dict) -> None:
           r["kernel_p99_ms"]] for r in mz["rows"]])
     print(f"zero extra columns for outstanding roots: "
           f"{mz['zero_extra_columns']}")
+    t = payload["trace"]
+    print(f"\ntracing: submit {t['submit_us_disabled']:.2f}us off vs "
+          f"{t['submit_us_enabled']:.2f}us on "
+          f"(off/on {t['disabled_over_enabled']:.2f}), "
+          f"{t['spans_per_query']:.2f} spans/query, span/latency sums "
+          f"consistent: {t['span_latency_consistent']}")
     b = payload["best_point"]
     print(f"best point: rate={b['rate']}, max_batch={b['B']} -> "
           f"{payload['best_speedup_vs_per_query']:.2f}x the per-query "
@@ -297,6 +376,11 @@ def main(argv: list[str] | None = None) -> int:
     if not payload["mshr_zipf"]["zero_extra_columns"]:
         print("ERROR: a duplicate of an outstanding root spawned an extra "
               "kernel column (MSHR coalescing broke)", file=sys.stderr)
+        return 1
+    if not payload["trace"]["span_latency_consistent"]:
+        print("ERROR: traced span durations diverged from the reported "
+              "latencies (span tree is lying about the run)",
+              file=sys.stderr)
         return 1
     return 0
 

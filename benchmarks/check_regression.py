@@ -191,6 +191,23 @@ def _extract_serve(payload: dict) -> list[Point]:
                 False,
             )
         )
+    # Tracing: the disabled-path ratio is a timing point (guard-free span
+    # work leaking onto the tracer=None path pushes it toward 1.0); the
+    # span rate is a seed-deterministic detector of the instrumentation
+    # surface itself.
+    tr = payload.get("trace")
+    if tr:
+        points.append(
+            Point(
+                "trace.disabled_over_enabled",
+                tr["disabled_over_enabled"],
+                "lower",
+                True,
+            )
+        )
+        points.append(
+            Point("trace.spans_per_query", tr["spans_per_query"], "lower", False)
+        )
     return points
 
 

@@ -24,6 +24,7 @@ Layout
 ``repro.exec``      executed parallel backend (sharded SpMM sweep) +
                     model calibration via ``repro.dist.calibrate``
 ``repro.serve``     adaptive micro-batching query server + workloads
+``repro.obs``       span tracer, metrics registry, trace exporters
 """
 
 from repro.apps import (
@@ -119,6 +120,15 @@ _LAZY_EXPORTS = {
     "compare_placement": ("repro.serve.plan", "compare_placement"),
     "machine_weights": ("repro.dist.partition", "machine_weights"),
     "get_machines": ("repro.vec.machine", "get_machines"),
+    # repro.obs — observability: span tracer, metrics registry, exporters.
+    # Lazy so the instrumentation layer costs nothing until first use.
+    "Tracer": ("repro.obs.trace", "Tracer"),
+    "Span": ("repro.obs.trace", "Span"),
+    "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
+    "percentile": ("repro.obs.metrics", "percentile"),
+    "write_chrome_trace": ("repro.obs.export", "write_chrome_trace"),
+    "write_jsonl": ("repro.obs.export", "write_jsonl"),
+    "load_trace": ("repro.obs.export", "load_trace"),
 }
 
 
@@ -215,5 +225,12 @@ __all__ = [
     "compare_placement",
     "machine_weights",
     "get_machines",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "percentile",
+    "write_chrome_trace",
+    "write_jsonl",
+    "load_trace",
     "__version__",
 ]

@@ -141,7 +141,8 @@ def run_in_batches(engine, roots, batch: int | None) -> list[BFSResult]:
 def sweep_band_layers(sr: SemiringBFS, C: int, col: np.ndarray,
                       val: np.ndarray, cs: np.ndarray, cl: np.ndarray,
                       f_prev: np.ndarray, x_nd: np.ndarray, act: np.ndarray,
-                      act_out: np.ndarray | None = None) -> None:
+                      act_out: np.ndarray | None = None,
+                      profile: list | None = None) -> None:
     """Shrinking-prefix layer sweep over ``act``, into an ``x_nd`` view.
 
     The sharded core of :func:`spmm_layer_sweep`: ``x_nd`` is a chunk-major
@@ -158,6 +159,11 @@ def sweep_band_layers(sr: SemiringBFS, C: int, col: np.ndarray,
     ascending layer order, reading nothing but the fixed ``f_prev`` — so
     partitioning ``act`` across bands and sweeping each band separately is
     bit-identical to one global sweep, for any partition.
+
+    ``profile`` (optional) is the per-layer profiling hook: when a list is
+    passed, one ``(j, live_n)`` pair is appended per column layer swept —
+    layer index and the number of chunks still live at that depth — the
+    shape the tracing engines attach to their layer spans.
     """
     if act.size == 0:
         return
@@ -171,6 +177,8 @@ def sweep_band_layers(sr: SemiringBFS, C: int, col: np.ndarray,
         live_n = int(np.searchsorted(-scl, -j, side="left"))
         if live_n == 0:
             break
+        if profile is not None:
+            profile.append((j, live_n))
         live = srt[:live_n]
         idx = (cs[live] + j * C)[:, None] + lane_off  # (L, C)
         vals = val[idx][..., None] if x_nd.ndim == 3 else val[idx]
@@ -179,7 +187,8 @@ def sweep_band_layers(sr: SemiringBFS, C: int, col: np.ndarray,
 
 
 def spmm_layer_sweep(rep: SellCSigma, sr: SemiringBFS, f_prev: np.ndarray,
-                     x_out: np.ndarray, act: np.ndarray) -> None:
+                     x_out: np.ndarray, act: np.ndarray,
+                     profile: list | None = None) -> None:
     """One semiring layer sweep over the active chunks, in place.
 
     ``f_prev`` is the gathered operand — ``(N,)`` for a single source or
@@ -207,7 +216,7 @@ def spmm_layer_sweep(rep: SellCSigma, sr: SemiringBFS, f_prev: np.ndarray,
     batched = f_prev.ndim == 2
     x_nd = x_out.reshape((rep.nc, rep.C, -1) if batched else (rep.nc, rep.C))
     sweep_band_layers(sr, rep.C, rep.col64, rep.val_for(sr), rep.cs, rep.cl,
-                      f_prev, x_nd, act)
+                      f_prev, x_nd, act, profile=profile)
 
 
 def snapshot_column(st: BFSState, j: int) -> BFSState:
@@ -305,6 +314,16 @@ class MultiSourceBFS:
         self.is_slim = not rep.has_val
         #: (B, per-iteration union sweep stats) of the most recent run().
         self._last_sweep: tuple[int, list[tuple[int, int, int]]] | None = None
+        #: Optional :class:`repro.obs.trace.Tracer` an owner (the serving
+        #: tier, or a direct caller) attaches around a run; ``None`` keeps
+        #: the sweep loop free of any tracing branches' side effects.
+        self.tracer = None
+        #: Parent span for the per-iteration ``bfs.layer`` spans (``None``
+        #: = each run's layers start a fresh trace the owner re-bases).
+        self.trace_parent = None
+        #: The open ``bfs.layer`` span of the current iteration — the
+        #: parent subclasses (the executed backend) hang worker spans off.
+        self._layer_span = None
 
     # ------------------------------------------------------------------
     def run(self, roots) -> list[BFSResult]:
@@ -340,6 +359,11 @@ class MultiSourceBFS:
             st.depth = k
             t0 = time.perf_counter()
             width = col_of.size
+            tracer = self.tracer
+            if tracer is not None:
+                self._layer_span = tracer.begin(
+                    "bfs.layer", t=t0, parent=self.trace_parent,
+                    k=k, width=width)
             if self.slimwork:
                 settled = sr.settled_lanes(st)                  # (N, width)
                 src_active = ~settled.reshape(nc, C, width).all(axis=1)
@@ -355,7 +379,12 @@ class MultiSourceBFS:
                 # All sources' footprints in two vectorized reductions.
                 proc_all = src_active.sum(axis=0)
                 layers_all = cl @ src_active
-            share = (time.perf_counter() - t0) / width
+            t1 = time.perf_counter()
+            if tracer is not None:
+                tracer.end(self._layer_span, t=t1, chunks=int(act.size),
+                           settled=int((newly == 0).sum()))
+                self._layer_span = None
+            share = (t1 - t0) / width
             for j, b in enumerate(col_of):
                 if src_active is not None:
                     proc = int(proc_all[j])
@@ -399,7 +428,13 @@ class MultiSourceBFS:
         # Carry: inactive chunks keep their columns.  The sweep is a
         # shrinking-prefix pass moving all live columns per gather.
         x_raw = f_prev.copy()
-        spmm_layer_sweep(self.rep, self.semiring, f_prev, x_raw, act)
+        profile = [] if self._layer_span is not None else None
+        spmm_layer_sweep(self.rep, self.semiring, f_prev, x_raw, act,
+                         profile=profile)
+        if profile is not None:
+            self._layer_span.attrs["column_layers"] = len(profile)
+            self._layer_span.attrs["live_chunk_layers"] = sum(
+                n for _, n in profile)
         return x_raw
 
     # ------------------------------------------------------------------

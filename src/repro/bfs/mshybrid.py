@@ -111,6 +111,14 @@ class MultiSourceHybridBFS:
         self.slimwork = bool(slimwork)
         self.compute_parents = bool(compute_parents)
         self.max_iters = max_iters
+        #: Optional tracing hooks, same contract as
+        #: :class:`~repro.bfs.msbfs.MultiSourceBFS`: an owner attaches a
+        #: :class:`repro.obs.trace.Tracer` (and optionally a parent span)
+        #: around a run to get one ``bfs.layer`` span per iteration, with
+        #: per-direction column counts.
+        self.tracer = None
+        self.trace_parent = None
+        self._layer_span = None
 
     # ------------------------------------------------------------------
     def run(self, roots) -> list[BFSResult]:
@@ -158,6 +166,11 @@ class MultiSourceHybridBFS:
             st.depth = k
             t0 = time.perf_counter()
             width = col_of.size
+            tracer = self.tracer
+            if tracer is not None:
+                self._layer_span = tracer.begin(
+                    "bfs.layer", t=t0, parent=self.trace_parent,
+                    k=k, width=width)
             # Beamer's rule, evaluated per column exactly as bfs_hybrid does
             # per traversal (memoryless, no hysteresis).  m_f was computed
             # when this frontier was settled (one dense product per layer).
@@ -177,7 +190,12 @@ class MultiSourceHybridBFS:
             newly = sr.postprocess(st, x_raw, frontier)  # int64[width]
             m_next = deg_N @ frontier  # next frontier's edge mass
             explored = explored + m_next
-            share = (time.perf_counter() - t0) / width
+            t1 = time.perf_counter()
+            if tracer is not None:
+                tracer.end(self._layer_span, t=t1, pull=int(pc.size),
+                           push=int(qc.size), settled=int((newly == 0).sum()))
+                self._layer_span = None
+            share = (t1 - t0) / width
             for j, b in enumerate(col_of):
                 if use_pull[j]:
                     jj = int(np.searchsorted(pc, j))

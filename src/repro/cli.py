@@ -12,6 +12,12 @@ Subcommands
 ``serve``     run the micro-batching query server under a simulated load
 ``plan``      offline capacity planner: serve traffic priced by the dist
               models, swept over ranks × network × batch × checkpoints
+``trace``     summarize or convert a trace exported with ``--trace``
+
+``serve``, ``exec`` and ``plan`` accept ``--trace FILE``: the run records
+a span tree per query/sweep and exports it as JSONL (``.jsonl``) or
+Chrome trace-event JSON (anything else — loadable in ``chrome://tracing``
+or https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -46,6 +52,28 @@ def _load_graph(spec: str):
     if spec.endswith(".npz"):
         return load_npz(spec)
     return load_edgelist(spec)
+
+
+def _make_tracer(path: str | None):
+    """A fresh :class:`~repro.obs.trace.Tracer` when ``--trace`` was given."""
+    if path is None:
+        return None
+    from repro.obs.trace import Tracer
+
+    return Tracer()
+
+
+def _export_trace(tracer, path: str | None) -> None:
+    """Write the collected spans: ``.jsonl`` → JSONL, else Chrome JSON."""
+    if tracer is None or path is None:
+        return
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    if path.endswith(".jsonl"):
+        write_jsonl(tracer.spans, path)
+    else:
+        write_chrome_trace(tracer.spans, path)
+    print(f"wrote {len(tracer.spans)} spans to {path}")
 
 
 def _cmd_generate(args) -> int:
@@ -292,17 +320,20 @@ def _cmd_exec(args) -> int:
     rep = SlimSell(g, args.chunk, args.sigma if args.sigma else g.n)
     slimwork = not args.no_slimwork
     roots = sample_roots(g, args.nroots, args.seed)
+    tracer = _make_tracer(args.trace)
     if args.calibrate:
         from repro.dist.calibrate import calibrate
 
         rpt = calibrate(rep, roots, workers=args.workers,
                         machine=args.machine, network=args.network,
                         backend=args.backend, slimwork=slimwork,
-                        batch=args.batch)
+                        batch=args.batch, tracer=tracer)
         print(rpt.describe())
+        _export_trace(tracer, args.trace)
         return 0
     engine = ExecMultiSourceBFS(rep, workers=args.workers,
                                 backend=args.backend, slimwork=slimwork)
+    engine.tracer = tracer
     with engine:
         results = run_in_batches(engine, roots, args.batch)
         prof = list(engine.layer_profile)
@@ -326,6 +357,7 @@ def _cmd_exec(args) -> int:
                   f"chunks={list(layer.chunks_per_worker)} "
                   f"t_workers={shards}us "
                   f"t_exchange={layer.t_exchange_s * 1e6:.1f}us")
+    _export_trace(tracer, args.trace)
     return 0
 
 
@@ -383,21 +415,26 @@ def _cmd_serve(args) -> int:
             raise SystemExit(f"--arrival-rate must be positive, got {rate:g}")
 
     g = _load_graph(args.graph)
+    tracer = _make_tracer(args.trace)
     server = Server(g, C=args.chunk, max_batch=args.max_batch,
                     max_wait=args.max_wait, cache_size=args.cache,
                     max_pending=args.max_pending, alpha=args.alpha,
-                    faults=faults, serve_stale=args.serve_stale)
+                    faults=faults, serve_stale=args.serve_stale,
+                    tracer=tracer)
     pool = sample_roots(g, args.root_pool, args.seed)
     roots = sample_zipf_roots(pool, args.queries, args.zipf, seed=args.seed)
+    params = {"seed": args.seed, "zipf": args.zipf,
+              "root_pool": args.root_pool}
     if args.closed_loop:
         report = run_closed_loop(server, roots, clients=args.clients,
-                                 semiring=args.semiring)
+                                 semiring=args.semiring, params=params)
         mode = (f"closed-loop ({args.clients or server.max_batch} clients)")
     else:
         arrivals = poisson_arrivals(args.queries, rate, seed=args.seed)
         report = run_open_loop(server, roots, arrivals,
                                semiring=args.semiring,
-                               deadline=args.deadline)
+                               deadline=args.deadline,
+                               params={**params, "rate": rate})
         mode = f"open-loop (Poisson, rate={rate:g}/s)"
     cs = server.cache.stats
     print(f"serve n={g.n} m={g.m} {mode}: {report['nqueries']} queries, "
@@ -434,6 +471,7 @@ def _cmd_serve(args) -> int:
             print(f"  dispatch reason {reason}: {count}")
         widths = server.stats.widths
         print(f"  widths: {widths}")
+    _export_trace(tracer, args.trace)
     return 0
 
 
@@ -501,6 +539,7 @@ def _cmd_plan(args) -> int:
               f"sweep, {out['p99_improvement']:.2f}x on served p99")
         return 0
 
+    tracer = _make_tracer(args.trace)
     plan = plan_capacity(
         g, targets, ranks=args.ranks_list, networks=args.networks.split(","),
         max_batches=args.max_batches_list, machine=args.machine,
@@ -508,7 +547,8 @@ def _cmd_plan(args) -> int:
         rank_failure_prob=args.fault_rate, checkpoint_intervals=intervals,
         nqueries=args.queries, root_pool=args.root_pool, zipf=args.zipf,
         seed=args.seed, fault_seed=args.fault_seed, max_wait=args.max_wait,
-        overlap=args.overlap, C=args.chunk, cache=not args.no_cache)
+        overlap=args.overlap, C=args.chunk, cache=not args.no_cache,
+        tracer=tracer)
 
     w = plan["workload"]
     print(f"capacity plan: n={w['n']} m={w['m']} {w['nqueries']} queries, "
@@ -548,6 +588,36 @@ def _cmd_plan(args) -> int:
         with open(args.json, "w") as fh:
             json.dump(plan, fh, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
+    _export_trace(tracer, args.trace)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.export import (
+        load_trace,
+        summarize,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    spans = load_trace(args.file)
+    s = summarize(spans)
+    print(f"{args.file}: {s['spans']} spans in {s['traces']} traces "
+          f"({s['roots']} roots, {s['open']} still open)")
+    if s["names"]:
+        width = max(max(len(n) for n in s["names"]), len("span"))
+        print(f"{'span':<{width}s} {'count':>7s} {'total ms':>10s} "
+              f"{'mean us':>10s}")
+        for name, row in sorted(s["names"].items()):
+            print(f"{name:<{width}s} {row['count']:>7d} "
+                  f"{row['total_s'] * 1e3:>10.3f} "
+                  f"{row['mean_s'] * 1e6:>10.1f}")
+    if args.chrome:
+        write_chrome_trace(spans, args.chrome)
+        print(f"wrote {args.chrome} (chrome://tracing / Perfetto)")
+    if args.jsonl:
+        write_jsonl(spans, args.jsonl)
+        print(f"wrote {args.jsonl}")
     return 0
 
 
@@ -703,6 +773,9 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--network", default="cray-aries",
                    choices=sorted(NETWORKS),
                    help="network descriptor to calibrate")
+    e.add_argument("--trace", default=None, metavar="FILE",
+                   help="export per-layer/worker spans (.jsonl = JSONL, "
+                        "else Chrome trace JSON)")
     e.add_argument("--verbose", "-v", action="store_true")
     e.set_defaults(fn=_cmd_exec)
 
@@ -758,6 +831,9 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--serve-stale", action="store_true",
                     help="serve prior-epoch cache entries (flagged stale) "
                          "while the circuit breaker is open")
+    sv.add_argument("--trace", default=None, metavar="FILE",
+                    help="export the per-query span trees (.jsonl = JSONL, "
+                         "else Chrome trace JSON for Perfetto)")
     sv.add_argument("--verbose", "-v", action="store_true")
     sv.set_defaults(fn=_cmd_serve)
 
@@ -818,9 +894,22 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--seed", type=int, default=1)
     pl.add_argument("--json", default=None,
                     help="also write the full plan payload to this path")
+    pl.add_argument("--trace", default=None, metavar="FILE",
+                    help="export span trees of every evaluated cell "
+                         "(.jsonl = JSONL, else Chrome trace JSON)")
     pl.add_argument("--verbose", "-v", action="store_true",
                     help="print the full feasibility table per target")
     pl.set_defaults(fn=_cmd_plan)
+
+    tr = sub.add_parser(
+        "trace", help="summarize or convert an exported trace file")
+    tr.add_argument("file", help="trace file (.jsonl or Chrome trace JSON)")
+    tr.add_argument("--chrome", default=None, metavar="OUT",
+                    help="convert to Chrome trace-event JSON "
+                         "(chrome://tracing / Perfetto)")
+    tr.add_argument("--jsonl", default=None, metavar="OUT",
+                    help="convert to one-span-per-line JSONL")
+    tr.set_defaults(fn=_cmd_trace)
     return p
 
 

@@ -151,6 +151,8 @@ def calibrate(
     partition: Partition1D | None = None,
     slimwork: bool = True,
     batch: int | None = None,
+    tracer=None,
+    metrics=None,
 ) -> CalibrationReport:
     """Measure the executed backend and fit the dist model's descriptors.
 
@@ -161,6 +163,15 @@ def calibrate(
     partition, grouping, and SlimWork setting, then aligns their union
     iteration profiles position by position (widths must agree — both
     sides derive the schedule from the same batched engine).
+
+    ``tracer`` / ``metrics`` (optional :class:`repro.obs.trace.Tracer` /
+    :class:`repro.obs.metrics.MetricsRegistry`) attach to the executed
+    engine, so the calibration run exports the same
+    ``exec.layer``/``exec.worker``/``exec.exchange`` spans the serving
+    tier does — the calibration consumes per-layer profiles either way;
+    the spans just make them inspectable in Perfetto.  The fitted scales
+    are published as ``dist.calibrate.compute_scale`` /
+    ``dist.calibrate.comm_scale`` gauges.
     """
     from repro.exec.engine import ExecMultiSourceBFS
 
@@ -173,6 +184,8 @@ def calibrate(
     engine = ExecMultiSourceBFS(rep, "tropical", workers=workers,
                                 backend=backend, partition=partition,
                                 slimwork=slimwork, compute_parents=False)
+    engine.tracer = tracer
+    engine.metrics = metrics
     try:
         results = run_in_batches(engine, roots, batch)
     finally:
@@ -223,6 +236,10 @@ def calibrate(
     else:
         comm_scale = None
         network_cal = network
+    if metrics is not None:
+        metrics.gauge("dist.calibrate.compute_scale").set(compute_scale)
+        if comm_scale is not None:
+            metrics.gauge("dist.calibrate.comm_scale").set(comm_scale)
     return CalibrationReport(
         workers=workers, backend=backend, compute_scale=compute_scale,
         comm_scale=comm_scale, machine=machine,

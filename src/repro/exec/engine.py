@@ -27,6 +27,7 @@ compares against the model's ``t_local``/``t_comm``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,7 +39,7 @@ from repro.formats.sell import SellCSigma
 from repro.graphs.graph import Graph
 from repro.semirings.base import SemiringBFS
 
-from .pool import BACKENDS, make_backend
+from .pool import BACKENDS, idle_times, make_backend
 
 __all__ = ["ExecLayerStats", "ExecMultiSourceBFS", "bfs_exec"]
 
@@ -84,6 +85,16 @@ class ExecLayerStats:
     def t_compute_total_s(self) -> float:
         """Σ per-worker compute — the single-worker-equivalent cost."""
         return float(sum(self.t_workers))
+
+    @property
+    def t_idle_workers(self) -> tuple[float, ...]:
+        """Per-worker seconds spent waiting at the layer barrier."""
+        return idle_times(self.t_workers)
+
+    @property
+    def t_idle_total_s(self) -> float:
+        """Σ barrier idle — compute lost to load imbalance this layer."""
+        return float(sum(self.t_idle_workers))
 
 
 class ExecMultiSourceBFS(MultiSourceBFS):
@@ -148,6 +159,9 @@ class ExecMultiSourceBFS(MultiSourceBFS):
         #: Measured per-union-iteration profiles, accumulated across runs
         #: (reset with :meth:`reset_profile`).
         self.layer_profile: list[ExecLayerStats] = []
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` to publish
+        #: per-layer compute/exchange/idle figures into (``exec.*``).
+        self.metrics = None
 
     # ------------------------------------------------------------------
     def _ensure_pool(self, f_prev: np.ndarray):
@@ -168,14 +182,62 @@ class ExecMultiSourceBFS(MultiSourceBFS):
                      k: int) -> np.ndarray:
         pool = self._ensure_pool(f_prev)
         act_parts = [act[self._owner[act] == r] for r in range(self.workers)]
+        tracer = self.tracer
+        if tracer is not None:
+            t0 = time.perf_counter()
         x_raw, t_workers, t_exchange = pool.run_layer(f_prev, act_parts)
         width = f_prev.shape[1] if f_prev.ndim == 2 else 1
-        self.layer_profile.append(ExecLayerStats(
+        stats = ExecLayerStats(
             k=k, width=width, t_workers=tuple(t_workers),
             t_exchange_s=t_exchange,
             chunks_per_worker=tuple(int(p.size) for p in act_parts),
-            exchanged_bytes=int(f_prev.nbytes)))
+            exchanged_bytes=int(f_prev.nbytes))
+        self.layer_profile.append(stats)
+        if tracer is not None:
+            self._trace_layer(stats, act_parts, t0)
+        if self.metrics is not None:
+            self._publish_layer(stats)
         return x_raw
+
+    def _trace_layer(self, stats: ExecLayerStats, act_parts, t0: float):
+        """Emit exec.layer/worker/exchange spans for one union sweep.
+
+        Worker spans carry ``track="w{r}"`` so the Chrome export lays
+        each rank on its own row.  The serial backend runs shards back to
+        back, so its worker spans are laid out cumulatively; the
+        concurrent backends' all start at the sweep's origin.
+        """
+        tracer = self.tracer
+        t1 = time.perf_counter()
+        parent = (self._layer_span if self._layer_span is not None
+                  else self.trace_parent)
+        lspan = tracer.record(
+            "exec.layer", t0, t1, parent=parent, k=stats.k,
+            width=stats.width, workers=self.workers,
+            backend=self.backend)
+        serial = self.backend == "serial"
+        idle = stats.t_idle_workers
+        off = t0
+        for r, tw in enumerate(stats.t_workers):
+            ws = off if serial else t0
+            tracer.record(
+                "exec.worker", ws, ws + tw, parent=lspan, track=f"w{r}",
+                rank=r, chunks=int(act_parts[r].size), idle_s=idle[r])
+            if serial:
+                off += tw
+        tracer.record("exec.exchange", max(t0, t1 - stats.t_exchange_s), t1,
+                      parent=lspan, bytes=stats.exchanged_bytes)
+
+    def _publish_layer(self, stats: ExecLayerStats) -> None:
+        """Publish one union sweep's profile into ``self.metrics``."""
+        m = self.metrics
+        m.counter("exec.layers").inc()
+        m.counter("exec.compute_s").inc(stats.t_compute_total_s)
+        m.counter("exec.exchange_s").inc(stats.t_exchange_s)
+        m.counter("exec.idle_s").inc(stats.t_idle_total_s)
+        m.counter("exec.exchanged_bytes").inc(stats.exchanged_bytes)
+        m.histogram("exec.layer.local_s").observe(stats.t_local_s)
+        m.histogram("exec.layer.exchange_s").observe(stats.t_exchange_s)
 
     def _finalize(self, finals, roots, per_src, total) -> list[BFSResult]:
         method = f"exec-{self.backend}-w{self.workers}"

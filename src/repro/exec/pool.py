@@ -54,10 +54,24 @@ from repro.formats.sell import SellCSigma
 from repro.semirings.base import SemiringBFS
 
 __all__ = ["BACKENDS", "SerialBackend", "ThreadBackend", "ProcessBackend",
-           "make_backend"]
+           "idle_times", "make_backend"]
 
 #: Selectable backend names, in documentation order.
 BACKENDS = ("serial", "threads", "process")
+
+
+def idle_times(t_workers) -> tuple[float, ...]:
+    """Per-worker barrier idle seconds: slowest worker's time minus own.
+
+    The layer exchange is a barrier — every worker waits for the slowest
+    one — so a worker's idle share is exactly that gap.  The profiling
+    spans and :class:`repro.exec.engine.ExecLayerStats` both report it.
+    """
+    t_workers = tuple(t_workers)
+    if not t_workers:
+        return ()
+    slowest = max(t_workers)
+    return tuple(slowest - t for t in t_workers)
 
 
 def _band_rows(chunks: np.ndarray, C: int) -> np.ndarray:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.obs.metrics import percentile
 
 
 def _bfs_levels(g: Graph, root: int) -> np.ndarray:
@@ -110,5 +111,5 @@ def degree_stats(g: Graph) -> DegreeStats:
         avg=g.avg_degree,
         max=int(d.max()),
         median=float(np.median(d)),
-        p99=float(np.percentile(d, 99)),
+        p99=percentile(d, 99),
     )

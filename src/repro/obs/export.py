@@ -1,0 +1,226 @@
+"""Trace exporters: JSONL and Chrome trace-event JSON.
+
+Two on-disk formats, auto-detected on read by :func:`load_trace`:
+
+* **JSONL** — one :meth:`Span.to_dict` object per line; lossless
+  round-trip via :func:`read_jsonl`.
+* **Chrome trace-event JSON** — ``{"traceEvents": [...]}`` with one
+  complete (``"ph": "X"``) event per closed span, loadable by
+  ``chrome://tracing`` and https://ui.perfetto.dev.  Timestamps are
+  re-based to the earliest span and scaled to microseconds (the format's
+  unit), so virtual-clock serve traces starting at t=0.0 render exactly
+  like wall-clock engine traces.  Each distinct ``track`` attribute (or,
+  absent that, each trace id) becomes one named thread row.
+
+Exports are deterministic: span order, ids and timestamps come from the
+tracer, and thread ids are assigned in first-appearance order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "load_trace",
+    "read_chrome_trace",
+    "read_jsonl",
+    "summarize",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def _json_default(obj: Any) -> Any:
+    """Fallback encoder: numpy scalars → Python scalars, else str."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return str(obj)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    """Write one span dict per line; returns the span count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), default=_json_default))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str) -> list[Span]:
+    """Inverse of :func:`write_jsonl` (blank lines ignored)."""
+    spans = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+def chrome_trace_events(spans: Iterable[Span]) -> list[dict[str, Any]]:
+    """Spans → trace-event dicts (metadata thread-name events first).
+
+    Open spans export with ``dur = 0`` and ``"open": true`` in ``args``
+    rather than being dropped — a truncated trace should say so.
+    """
+    spans = list(spans)
+    if not spans:
+        return []
+    t0 = min(s.t_start for s in spans)
+    tids: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        track = span.attrs.get("track")
+        key = str(track) if track is not None else f"trace-{span.trace_id}"
+        tid = tids.get(key)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[key] = tid
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": key},
+                }
+            )
+        args = {
+            "span_id": span.span_id,
+            "trace_id": span.trace_id,
+            "parent_id": span.parent_id,
+        }
+        args.update(span.attrs)
+        if span.t_end is None:
+            args["open"] = True
+            dur_us = 0.0
+        else:
+            dur_us = (span.t_end - span.t_start) * 1e6
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "pid": 1,
+                "tid": tid,
+                "ts": (span.t_start - t0) * 1e6,
+                "dur": dur_us,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str) -> int:
+    """Write a ``chrome://tracing``/Perfetto-loadable JSON file.
+
+    Returns the number of span events written (metadata events excluded).
+    """
+    events = chrome_trace_events(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"traceEvents": events, "displayTimeUnit": "ms"},
+            fh,
+            default=_json_default,
+        )
+        fh.write("\n")
+    return sum(1 for e in events if e["ph"] == "X")
+
+
+def read_chrome_trace(path: str) -> list[Span]:
+    """Rebuild spans from a Chrome trace-event file.
+
+    Timestamps come back re-based (earliest span at 0.0) — durations and
+    tree structure are preserved exactly; absolute epochs are not.
+    """
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    spans = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        args = dict(ev.get("args") or {})
+        span_id = int(args.pop("span_id", len(spans) + 1))
+        trace_id = int(args.pop("trace_id", span_id))
+        parent_id = args.pop("parent_id", None)
+        is_open = bool(args.pop("open", False))
+        t_start = float(ev["ts"]) / 1e6
+        t_end = None if is_open else t_start + float(ev.get("dur", 0.0)) / 1e6
+        spans.append(
+            Span(
+                name=ev["name"],
+                span_id=span_id,
+                trace_id=trace_id,
+                parent_id=None if parent_id is None else int(parent_id),
+                t_start=t_start,
+                t_end=t_end,
+                attrs=args,
+            )
+        )
+    return spans
+
+
+# ----------------------------------------------------------------------
+def load_trace(path: str) -> list[Span]:
+    """Read a trace file in either format (sniffed from the first byte)."""
+    first = ""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            first = line.strip()
+            if first:
+                break
+    if not first.startswith("{"):
+        return read_jsonl(path)
+    # A JSONL file of span dicts also starts with "{" — span dicts carry
+    # a "span_id" key at top level, the chrome envelope does not.
+    try:
+        doc = json.loads(first)
+        if isinstance(doc, dict) and "span_id" in doc:
+            return read_jsonl(path)
+    except json.JSONDecodeError:
+        pass
+    return read_chrome_trace(path)
+
+
+def summarize(spans: Iterable[Span]) -> dict[str, Any]:
+    """Aggregate a span list: counts plus per-name totals.
+
+    ``names`` maps span name → ``{count, total_s, mean_s}`` over *closed*
+    spans (open spans count toward ``spans``/``open`` only).
+    """
+    spans = list(spans)
+    names: dict[str, dict[str, float]] = {}
+    n_open = 0
+    for span in spans:
+        if span.t_end is None:
+            n_open += 1
+            continue
+        agg = names.setdefault(span.name, {"count": 0, "total_s": 0.0})
+        agg["count"] += 1
+        agg["total_s"] += span.duration_s
+    for agg in names.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"] if agg["count"] else 0.0
+    return {
+        "spans": len(spans),
+        "open": n_open,
+        "traces": len({s.trace_id for s in spans}),
+        "roots": sum(1 for s in spans if s.parent_id is None),
+        "names": names,
+    }

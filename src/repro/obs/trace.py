@@ -1,0 +1,196 @@
+"""Span-based tracing on an injectable clock.
+
+A :class:`Span` is one named interval ``[t_start, t_end]`` with a parent
+link and free-form attributes; a :class:`Tracer` mints spans with
+deterministic integer ids (no randomness — traces from seeded runs are
+reproducible byte-for-byte) and keeps them in creation order.
+
+Two clock domains coexist in this codebase and the tracer serves both:
+
+* the **serving layer** runs on a *virtual* clock (workload-generator
+  timestamps), so the server always passes explicit ``t=`` values and the
+  tracer's own clock is never consulted — with ``tracer=None`` the serve
+  path stays bit-identical, and with tracing on it stays deterministic;
+* the **engines** measure *wall* time (``time.perf_counter``), either via
+  explicit ``t=`` values from timestamps they already take or through the
+  :meth:`Tracer.span` context manager.  The server re-bases those wall
+  spans into the virtual window of the batch's kernel span (offset plus
+  scale), so one exported trace shows both domains on one timeline.
+
+Span ids are unique per tracer; trace ids group spans that share a root
+(``parent=None`` starts a new trace).  Exporters live in
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One named interval in a trace tree.
+
+    ``t_end is None`` marks a span still open; :meth:`Tracer.end` closes
+    it.  ``attrs`` is the span's free-form annotation dict (engine name,
+    batch width, linked span ids, ...).
+    """
+
+    name: str
+    span_id: int
+    trace_id: int
+    parent_id: int | None
+    t_start: float
+    t_end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this span starts its trace (no parent)."""
+        return self.parent_id is None
+
+    @property
+    def duration_s(self) -> float:
+        """Closed duration in seconds (0.0 while the span is open)."""
+        if self.t_end is None:
+            return 0.0
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(
+            name=d["name"],
+            span_id=int(d["span_id"]),
+            trace_id=int(d["trace_id"]),
+            parent_id=None if d.get("parent_id") is None else int(d["parent_id"]),
+            t_start=float(d["t_start"]),
+            t_end=None if d.get("t_end") is None else float(d["t_end"]),
+            attrs=dict(d.get("attrs") or {}),
+        )
+
+
+class Tracer:
+    """Mints and collects :class:`Span` objects on an injectable clock.
+
+    ``clock`` is only consulted when a call omits its explicit ``t=``
+    timestamp — callers that already own a clock (the virtual-time server,
+    engines that measured ``perf_counter`` anyway) pass ``t=`` and the
+    tracer performs no time reads of its own.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.spans: list[Span] = []
+        self._next_span_id = 1
+        self._next_trace_id = 1
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        *,
+        parent: Span | None = None,
+        t: float | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span (a new trace root when ``parent`` is None)."""
+        if t is None:
+            t = self.clock()
+        if parent is None:
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(
+            name=name,
+            span_id=self._next_span_id,
+            trace_id=trace_id,
+            parent_id=parent_id,
+            t_start=t,
+            attrs=attrs,
+        )
+        self._next_span_id += 1
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, *, t: float | None = None, **attrs: Any) -> Span:
+        """Close an open span (annotating it with ``attrs``)."""
+        if span.t_end is not None:
+            raise ValueError(f"span {span.span_id} ({span.name}) already ended")
+        span.t_end = self.clock() if t is None else t
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def record(
+        self,
+        name: str,
+        t_start: float,
+        t_end: float,
+        *,
+        parent: Span | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Add an already-closed span from explicit timestamps.
+
+        Never reads the clock — the retroactive form used for intervals
+        whose bounds are only known after the fact (queue waits, kernel
+        windows computed from virtual completion times).
+        """
+        span = self.begin(name, parent=parent, t=t_start, **attrs)
+        span.t_end = t_end
+        return span
+
+    @contextmanager
+    def span(
+        self, name: str, *, parent: Span | None = None, **attrs: Any
+    ) -> Iterator[Span]:
+        """Clock-timed span around a ``with`` block (wall profiling)."""
+        s = self.begin(name, parent=parent, **attrs)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    # ------------------------------------------------------------------
+    def roots(self) -> list[Span]:
+        """Spans with no parent, in creation order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of ``span``, in creation order."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def by_id(self, span_id: int) -> Span | None:
+        """The span with ``span_id``, or None."""
+        for s in self.spans:
+            if s.span_id == span_id:
+                return s
+        return None
+
+    def clear(self) -> None:
+        """Drop collected spans (id counters keep running)."""
+        self.spans.clear()

@@ -112,6 +112,15 @@ class QueryBatcher:
             self._first[semiring] = now
         group[gkey] = [ticket]
 
+    def register_metrics(self, registry,
+                         prefix: str = "serve.batcher") -> None:
+        """Publish live views of the queue under ``prefix``."""
+        registry.register_view(f"{prefix}.pending_roots", lambda: len(self))
+        registry.register_view(f"{prefix}.pending_queries",
+                               lambda: self.pending_queries)
+        registry.register_view(f"{prefix}.coalesced", lambda: self.coalesced)
+        registry.register_view(f"{prefix}.max_batch", lambda: self.max_batch)
+
     def next_deadline(self) -> float | None:
         """Timestamp at which the oldest group becomes due (None = empty)."""
         if not self._first:

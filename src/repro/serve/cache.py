@@ -194,6 +194,23 @@ class ResultCache:
                 if not live:
                     del self._epochs[(s, r)]
 
+    def register_metrics(self, registry,
+                         prefix: str = "serve.result_cache") -> None:
+        """Publish live views of this cache under ``prefix`` (lazy reads
+        of the existing counters — the lookup path is untouched)."""
+        st = self.stats
+        registry.register_view(f"{prefix}.hits", lambda: st.hits)
+        registry.register_view(f"{prefix}.misses", lambda: st.misses)
+        registry.register_view(f"{prefix}.evictions", lambda: st.evictions)
+        registry.register_view(f"{prefix}.rejected_puts",
+                               lambda: st.rejected_puts)
+        registry.register_view(f"{prefix}.rejected_lookups",
+                               lambda: st.rejected_lookups)
+        registry.register_view(f"{prefix}.lookups", lambda: st.lookups)
+        registry.register_view(f"{prefix}.hit_rate", lambda: st.hit_rate)
+        registry.register_view(f"{prefix}.entries", lambda: len(self))
+        registry.register_view(f"{prefix}.capacity", lambda: self.capacity)
+
     def clear(self, keep_stale: bool = False) -> None:
         """Drop every entry (stats are preserved).
 

@@ -243,3 +243,14 @@ class CircuitBreaker:
             self.closes += 1
             return True
         return False
+
+    def register_metrics(self, registry,
+                         prefix: str = "serve.breaker") -> None:
+        """Publish live views under ``prefix``.  ``state`` exports as the
+        index into :data:`BREAKER_STATES` (0 closed / 1 open / 2
+        half-open) so it plots as a numeric series."""
+        registry.register_view(
+            f"{prefix}.state", lambda: BREAKER_STATES.index(self.state))
+        registry.register_view(f"{prefix}.failures", lambda: self.failures)
+        registry.register_view(f"{prefix}.opens", lambda: self.opens)
+        registry.register_view(f"{prefix}.closes", lambda: self.closes)

@@ -64,6 +64,11 @@ class MSHREntry:
     completion: float = 0.0
     batch_width: int = 0
     engine: str = ""
+    #: Tracing servers only: the ``serve.kernel`` span of the batch that
+    #: computed this entry's column, set at dispatch — late (in-flight)
+    #: waiters link their root span to it, so every coalesced query
+    #: points at the one traversal that answered it.
+    kernel_span: object = None
 
     @property
     def epoch(self) -> int:
@@ -199,3 +204,23 @@ class MissStatusRegistry:
         """Batch widths of the currently in-flight entries."""
         return [e.batch_width for e in self._entries.values()
                 if e.state == "inflight"]
+
+    def register_metrics(self, registry, prefix: str = "serve.mshr") -> None:
+        """Publish live views of this registry under ``prefix``.
+
+        Views are lazy reads of the existing counters/tables — nothing on
+        the miss path changes, and re-registering (a rebuilt server) just
+        replaces the previous component's views.
+        """
+        st = self.stats
+        registry.register_view(f"{prefix}.allocated", lambda: st.allocated)
+        registry.register_view(f"{prefix}.pending_hits",
+                               lambda: st.pending_hits)
+        registry.register_view(f"{prefix}.inflight_hits",
+                               lambda: st.inflight_hits)
+        registry.register_view(f"{prefix}.retired", lambda: st.retired)
+        registry.register_view(f"{prefix}.aborted", lambda: st.aborted)
+        registry.register_view(f"{prefix}.hits", lambda: st.hits)
+        registry.register_view(f"{prefix}.live", lambda: len(self))
+        registry.register_view(f"{prefix}.pending", lambda: self.pending)
+        registry.register_view(f"{prefix}.inflight", lambda: self.inflight)

@@ -339,6 +339,7 @@ def _evaluate_cell(
     overlap: float,
     slimwork: bool,
     faults: DistFaultModel | None,
+    tracer=None,
 ) -> dict:
     """Replay one workload through one configuration; report feasibility."""
     qps, p99_target = target
@@ -358,9 +359,16 @@ def _evaluate_cell(
         max_wait=max_wait,
         cache_size=cache_size,
         batch_service_model=model,
+        tracer=tracer,
     )
     server.pool = ReplayEnginePool(cache)
-    report = run_open_loop(server, roots, arrivals, semiring="tropical")
+    report = run_open_loop(
+        server,
+        roots,
+        arrivals,
+        semiring="tropical",
+        params={"qps": float(qps)},
+    )
     span = float(arrivals[-1] - arrivals[0])
     p99 = report["latency_p99_s"]
     sustained = report["virtual_makespan_s"] <= span + p99_target
@@ -404,6 +412,7 @@ def plan_capacity(
     slimwork: bool = True,
     C: int = 16,
     cache: bool = True,
+    tracer=None,
 ) -> dict:
     """Sweep rank count × network × batch width against one workload.
 
@@ -420,7 +429,10 @@ def plan_capacity(
     descriptor list or ``"knl,knl,knl@0.5"`` spec) switches to a
     heterogeneous plan of exactly ``len(machines)`` ranks, placed by
     :func:`~repro.dist.partition.machine_weights` unless
-    ``placement="uniform"``.
+    ``placement="uniform"``.  ``tracer`` (an optional
+    :class:`repro.obs.trace.Tracer`) threads through every cell's replay
+    server, so one planner run exports the span trees of every
+    configuration it evaluated.
 
     Returns a JSON-friendly payload: ``grid`` rows (one per cell, with
     ``per_target`` feasibility cells and the per-interval p99 curve) and
@@ -508,6 +520,7 @@ def plan_capacity(
                             overlap=overlap,
                             slimwork=slimwork,
                             faults=faults,
+                            tracer=tracer,
                         )
                         cell["checkpoint_interval"] = interval
                         candidates.append(cell)

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any
 from repro.bfs.result import BFSResult
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime only
+    from repro.obs.trace import Span
     from repro.serve.mshr import MSHREntry
 
 __all__ = [
@@ -98,6 +99,11 @@ class QueryResult:
     #: was open (graceful degradation: possibly outdated, never wrong for
     #: the epoch it was computed in).
     stale: bool = False
+    #: Root span of this query's trace (None when the server ran without
+    #: a tracer).  Its ``kernel_span``/``batch_span`` attrs link into the
+    #: owning tracer's span list, so the full tree — queue wait, batch,
+    #: kernel, per-layer sweeps — is reconstructable from the result.
+    span: "Span | None" = field(default=None, repr=False)
 
 
 class Rejected(QueryResult):
@@ -169,6 +175,9 @@ class Ticket:
     #: server's MSHR when the ticket allocates or attaches; None for
     #: cache hits and rejections).
     mshr: "MSHREntry | None" = field(default=None, repr=False)
+    #: The query's open root span (tracing servers only; closed — and
+    #: copied onto the result — when the ticket resolves).
+    span: "Span | None" = field(default=None, repr=False)
     _result: QueryResult | None = field(default=None, repr=False)
 
     @property

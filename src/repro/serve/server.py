@@ -50,12 +50,24 @@ gracefully under sustained failures — shedding kernel-path load,
 halving ``max_batch``, optionally serving prior-epoch cache entries
 flagged ``stale=True``.  With ``faults=None`` and no deadlines none of
 this machinery runs: behavior is bit-identical to the fault-free server.
+
+Observability rides on the same opt-in pattern (:mod:`repro.obs`): a
+``tracer=`` turns every accepted query into a span tree — root
+``serve.query`` [submit → resolution], children for the cache/MSHR
+verdict and the queue wait, ``serve.batch``/``serve.kernel`` spans per
+dispatched batch with the engine's wall-clock per-layer spans re-based
+into the kernel's virtual window — while ``tracer=None`` (default)
+creates *no span ever* and stays bit-identical, exactly like
+``faults=None``.  Every scalar :class:`ServeStats` counter lives in the
+server's :class:`~repro.obs.metrics.MetricsRegistry` (``self.metrics``)
+under stable ``serve.*`` names, and the cache, MSHR, batcher and breaker
+publish lazy views beside them; the registry always exists — it is pure
+bookkeeping relocation, with no clock reads and no rng.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -64,6 +76,8 @@ from repro.bfs.msbfs import build_rep
 from repro.bfs.result import BFSResult
 from repro.formats.sell import SellCSigma
 from repro.graphs.graph import Graph
+from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.trace import Tracer
 from repro.semirings.base import get_semiring
 from repro.serve.batcher import Batch, QueryBatcher
 from repro.serve.cache import ResultCache, graph_fingerprint
@@ -88,57 +102,93 @@ from repro.serve.query import (
 __all__ = ["AsyncServer", "ServeStats", "Server"]
 
 
-@dataclass
-class ServeStats:
-    """Serving-side accounting: counts, widths, kernel time, latencies."""
+#: ServeStats scalar counters → their stable registry names: the single
+#: source of truth for the attribute surface *and* the ``serve.*`` metric
+#: table (see the README).  Semantics, per attribute:
+#:
+#: - ``submitted`` / ``served`` / ``rejected``: query outcomes.
+#: - ``cache_hits``: answered straight from the committed cache.
+#: - ``mshr_hits``: attached to an outstanding (pending or in-flight)
+#:   miss instead of paying for a new frontier column.
+#: - ``batches``: dispatched batches.
+#: - ``kernel_s``: total kernel wall-clock seconds across batches.
+#: - ``kernel_s_wasted``: kernel seconds of batches that served *no*
+#:   waiter (every query resolved past its deadline) — charged to
+#:   ``kernel_s`` like any other batch but split out so goodput metrics
+#:   can exclude them.
+#: - ``timeouts`` / ``retries`` / ``failed`` / ``failed_batches`` /
+#:   ``sheds`` / ``stale_serves`` / ``cache_flakes`` /
+#:   ``breaker_opens`` / ``breaker_closes``: resilience accounting (all
+#:   zero with ``faults=None`` and no deadlines).
+_STAT_COUNTERS = {
+    "submitted": "serve.submitted",
+    "served": "serve.served",
+    "rejected": "serve.rejected",
+    "cache_hits": "serve.cache_hits",
+    "mshr_hits": "serve.mshr_hits",
+    "batches": "serve.batches",
+    "kernel_s": "serve.kernel_s",
+    "kernel_s_wasted": "serve.kernel_s_wasted",
+    "timeouts": "serve.timeouts",
+    "retries": "serve.retries",
+    "failed": "serve.failed",
+    "failed_batches": "serve.failed_batches",
+    "sheds": "serve.sheds",
+    "stale_serves": "serve.stale_serves",
+    "cache_flakes": "serve.cache_flakes",
+    "breaker_opens": "serve.breaker_opens",
+    "breaker_closes": "serve.breaker_closes",
+}
 
-    submitted: int = 0
-    served: int = 0
-    rejected: int = 0
-    cache_hits: int = 0
-    #: Queries that attached to an outstanding (pending or in-flight)
-    #: miss instead of paying for a new frontier column.
-    mshr_hits: int = 0
-    batches: int = 0
-    #: Total kernel wall-clock seconds across dispatched batches.
-    kernel_s: float = 0.0
-    #: Kernel seconds of batches that served *no* waiter (every query in
-    #: them resolved past its deadline): charged to ``kernel_s`` like any
-    #: other batch, but split out so goodput metrics can exclude them —
-    #: otherwise faulted runs silently deflate ``kernel_throughput``.
-    kernel_s_wasted: float = 0.0
-    #: Width of every dispatched batch, in dispatch order.
-    widths: list[int] = field(default_factory=list)
-    #: Release-reason histogram (``width`` / ``deadline`` / ``drain``).
-    reasons: dict[str, int] = field(default_factory=dict)
-    #: Kernel-path latency (submit → batch completion) per query resolved
-    #: by a traversal — batch fan-out and in-flight MSHR attaches alike.
-    latencies: list[float] = field(default_factory=list)
-    #: Cache-hit latency per query answered from the committed cache — a
-    #: separate population (identically 0.0 on the virtual clock), so
-    #: kernel percentiles are not diluted by hits under Zipf skew.
-    cache_latencies: list[float] = field(default_factory=list)
-    # Resilience accounting (all zero with faults=None and no deadlines).
-    #: Queries whose answer arrived after their ``deadline=``.
-    timeouts: int = 0
-    #: Batch re-dispatches after transient kernel faults (one per retry
-    #: attempt, *not* per waiter: a retried batch carries all of them).
-    retries: int = 0
-    #: Queries resolved :class:`~repro.serve.query.Failed`.
-    failed: int = 0
-    #: Batches whose every attempt faulted (or whose engine raised).
-    failed_batches: int = 0
-    #: Queries shed at submit because the circuit breaker was open and no
-    #: stale cache entry could stand in.
-    sheds: int = 0
-    #: Queries answered from a prior-epoch cache entry (``stale=True``)
-    #: while the breaker was open.
-    stale_serves: int = 0
-    #: Cache hits the fault plan turned into misses (flaky reads).
-    cache_flakes: int = 0
-    #: Circuit-breaker transitions.
-    breaker_opens: int = 0
-    breaker_closes: int = 0
+
+class ServeStats:
+    """Serving-side accounting: counts, widths, kernel time, latencies.
+
+    The scalar counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
+    under the stable dotted names of :data:`_STAT_COUNTERS`; the familiar
+    attributes (``stats.served``, ``stats.kernel_s``, ...) are thin
+    read/write properties over those registry counters, so existing code
+    and registry readers see one store.  Values and arithmetic are
+    bit-identical to the former plain fields (a counter starts at int 0
+    and follows ordinary ``+=`` promotion).  The list/dict populations
+    (widths, reasons, latencies) stay plain attributes; their derived
+    percentiles are registered as lazy views.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        #: The registry every scalar counter lives in; the owning server
+        #: shares it with its components (``Server.metrics``).
+        self.registry = MetricsRegistry() if registry is None else registry
+        self._counters = {attr: self.registry.counter(name)
+                          for attr, name in _STAT_COUNTERS.items()}
+        #: Width of every dispatched batch, in dispatch order.
+        self.widths: list[int] = []
+        #: Release-reason histogram (``width`` / ``deadline`` / ``drain``).
+        self.reasons: dict[str, int] = {}
+        #: Kernel-path latency (submit → batch completion) per query
+        #: resolved by a traversal — batch fan-out and in-flight MSHR
+        #: attaches alike.
+        self.latencies: list[float] = []
+        #: Cache-hit latency per query answered from the committed cache
+        #: — a separate population (identically 0.0 on the virtual
+        #: clock), so kernel percentiles are not diluted by hits under
+        #: Zipf skew.
+        self.cache_latencies: list[float] = []
+        reg = self.registry
+        reg.register_view("serve.mean_batch_width",
+                          lambda: self.mean_batch_width)
+        reg.register_view("serve.kernel_throughput_qps",
+                          lambda: self.kernel_throughput)
+        reg.register_view("serve.latency_p50_s",
+                          lambda: self.latency_percentile(50))
+        reg.register_view("serve.latency_p95_s",
+                          lambda: self.latency_percentile(95))
+        reg.register_view("serve.latency_p99_s",
+                          lambda: self.latency_percentile(99))
+        reg.register_view("serve.cache_latency_p50_s",
+                          lambda: self.cache_latency_percentile(50))
+        reg.register_view("serve.cache_latency_p99_s",
+                          lambda: self.cache_latency_percentile(99))
 
     @property
     def mean_batch_width(self) -> float:
@@ -160,15 +210,11 @@ class ServeStats:
 
     def latency_percentile(self, p: float) -> float:
         """``p``-th percentile (0–100) of *kernel-path* latencies."""
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(np.asarray(self.latencies), p))
+        return percentile(self.latencies, p)
 
     def cache_latency_percentile(self, p: float) -> float:
         """``p``-th percentile (0–100) of cache-hit latencies."""
-        if not self.cache_latencies:
-            return 0.0
-        return float(np.percentile(np.asarray(self.cache_latencies), p))
+        return percentile(self.cache_latencies, p)
 
     def summary(self) -> dict:
         """Plain-dict snapshot (JSON-friendly; used by benches/CLI)."""
@@ -199,6 +245,23 @@ class ServeStats:
             "breaker_opens": self.breaker_opens,
             "breaker_closes": self.breaker_closes,
         }
+
+
+def _counter_property(attr: str, metric: str) -> property:
+    """Read/write property over one registry-backed stats counter."""
+    def fget(self):
+        return self._counters[attr].value
+
+    def fset(self, value):
+        self._counters[attr].value = value
+
+    return property(fget, fset,
+                    doc=f"Registry-backed counter ``{metric}``.")
+
+
+for _attr, _metric in _STAT_COUNTERS.items():
+    setattr(ServeStats, _attr, _counter_property(_attr, _metric))
+del _attr, _metric
 
 
 class Server:
@@ -269,6 +332,14 @@ class Server:
         (:class:`~repro.serve.plan.DistServiceModel` charges each batch
         the distributed model's union-sweep time); mutually exclusive
         with ``service_model``.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` collecting the span tree of
+        every accepted query (root ``serve.query`` per ticket,
+        ``serve.batch``/``serve.kernel`` per dispatched batch, engine
+        per-layer spans re-based into the kernel's virtual window — see
+        the README span taxonomy).  ``None`` (default) = tracing off and
+        *no span is ever created*: like ``faults=None``, the untraced
+        server is bit-identical to one that predates the tracing layer.
     """
 
     def __init__(self, graph_or_rep: Graph | SellCSigma, *, C: int = 16,
@@ -285,7 +356,8 @@ class Server:
                  serve_stale: bool = False,
                  service_model: Callable[[int], float] | None = None,
                  batch_service_model: Callable[[np.ndarray], float] | None
-                 = None):
+                 = None,
+                 tracer: Tracer | None = None):
         if service_model is not None and batch_service_model is not None:
             raise ValueError(
                 "service_model and batch_service_model are mutually "
@@ -314,6 +386,13 @@ class Server:
         self.max_pending = max_pending
         self.clock = clock
         self.stats = ServeStats()
+        #: The metrics registry every serving component publishes into:
+        #: the stats counters live here (``serve.*``), and the cache,
+        #: MSHR, batcher and breaker register lazy views below.
+        self.metrics = self.stats.registry
+        #: Span tracer (None = tracing off: no span is ever created and
+        #: the serve path is bit-identical to an untraced server).
+        self.tracer = tracer
         #: The fault sampler (None = fault-free: no rng exists at all).
         self.faults: FaultInjector | None = (
             FaultInjector(faults) if isinstance(faults, FaultPlan)
@@ -336,6 +415,14 @@ class Server:
         self._validated: set[tuple[int, str, int]] = set()
         #: Virtual completion time of the last dispatched batch (FIFO).
         self._busy_until = float("-inf")
+        # Component views: lazy reads, nothing on the serve path changes.
+        self.cache.register_metrics(self.metrics)
+        self.mshr.register_metrics(self.metrics)
+        self.batcher.register_metrics(self.metrics)
+        self.breaker.register_metrics(self.metrics)
+        self.metrics.register_view("serve.epoch", lambda: self.epoch)
+        self.metrics.register_view("serve.busy_until",
+                                   lambda: self._busy_until)
 
     # ------------------------------------------------------------------
     @property
@@ -439,6 +526,11 @@ class Server:
         ticket = Ticket(query=query, submitted_at=now,
                         deadline_at=None if deadline is None
                         else now + deadline)
+        tracer = self.tracer
+        if tracer is not None:
+            ticket.span = tracer.begin(
+                "serve.query", t=now, root=query.root, kind=kind,
+                semiring=semiring)
 
         key = (self.epoch, semiring, query.root)
         cached = self.cache.peek(key)
@@ -447,16 +539,26 @@ class Server:
             # Injected flaky read: the hit is spuriously invisible and
             # the query pays the full kernel path (recompute).
             self.stats.cache_flakes += 1
+            if tracer is not None:
+                tracer.record("serve.cache.flake", now, now,
+                              parent=ticket.span)
             cached = None
         if cached is not None:
             self.cache.record_hit()
             self.stats.cache_hits += 1
             self.stats.served += 1
             self.stats.cache_latencies.append(0.0)
-            ticket._resolve(QueryResult(
+            qr = QueryResult(
                 query=query, status="served",
                 value=self._reduce(query, cached, key),
-                bfs=cached, cache_hit=True))
+                bfs=cached, cache_hit=True)
+            if tracer is not None:
+                tracer.record("serve.cache.hit", now, now,
+                              parent=ticket.span)
+                tracer.end(ticket.span, t=now, status="served",
+                           cache_hit=True)
+                qr.span = ticket.span
+            ticket._resolve(qr)
             return ticket
 
         entry = self.mshr.lookup(key)
@@ -467,6 +569,9 @@ class Server:
             self.cache.record_miss()
             self.mshr.attach(entry, ticket)
             self.stats.mshr_hits += 1
+            if tracer is not None:
+                tracer.record("serve.mshr.attach", now, now,
+                              parent=ticket.span, state=entry.state)
             if entry.state == "inflight":
                 self._resolve_inflight(entry, ticket)
             return ticket
@@ -484,27 +589,50 @@ class Server:
                     self.stats.stale_serves += 1
                     self.stats.served += 1
                     self.stats.cache_latencies.append(0.0)
-                    ticket._resolve(QueryResult(
+                    qr = QueryResult(
                         query=query, status="served",
                         value=self._reduce(query, stale_res, stale_key),
-                        bfs=stale_res, cache_hit=True, stale=True))
+                        bfs=stale_res, cache_hit=True, stale=True)
+                    if tracer is not None:
+                        tracer.record("serve.cache.stale", now, now,
+                                      parent=ticket.span)
+                        tracer.end(ticket.span, t=now, status="served",
+                                   stale=True)
+                        qr.span = ticket.span
+                    ticket._resolve(qr)
                     return ticket
             self.cache.record_rejected_lookup()
             self.stats.rejected += 1
             self.stats.sheds += 1
-            ticket._resolve(Rejected(query, reason="shed"))
+            qr = Rejected(query, reason="shed")
+            if tracer is not None:
+                tracer.record("serve.shed", now, now, parent=ticket.span)
+                tracer.end(ticket.span, t=now, status="rejected",
+                           reason="shed")
+                qr.span = ticket.span
+            ticket._resolve(qr)
             return ticket
 
         if (self.max_pending is not None
                 and self.batcher.pending_queries >= self.max_pending):
             self.cache.record_rejected_lookup()
             self.stats.rejected += 1
-            ticket._resolve(Rejected(query))
+            qr = Rejected(query)
+            if tracer is not None:
+                tracer.record("serve.reject", now, now, parent=ticket.span,
+                              reason="backpressure")
+                tracer.end(ticket.span, t=now, status="rejected",
+                           reason="backpressure")
+                qr.span = ticket.span
+            ticket._resolve(qr)
             return ticket
 
         self.cache.record_miss()
         self.mshr.allocate(key, ticket)
         self.batcher.enqueue(ticket, now)
+        if tracer is not None:
+            tracer.record("serve.enqueue", now, now, parent=ticket.span,
+                          pending=self.batcher.pending_queries)
         self._pump(now)
         return ticket
 
@@ -555,6 +683,7 @@ class Server:
         """
         name, engine = self.pool.engine_for(batch.semiring, batch.width)
         start = max(now, self._busy_until)
+        tracer = self.tracer
         delay = 0.0  # modeled seconds lost to faulted attempts
         attempt = 0
         while True:
@@ -570,13 +699,25 @@ class Server:
                     attempt += 1
                     self.stats.retries += 1
                     continue
+            if tracer is not None:
+                # Let the engine emit its per-layer wall-clock spans
+                # (re-based into the virtual kernel window below).
+                engine.tracer = tracer
+                engine.trace_parent = None
+                mark = len(tracer.spans)
             t0 = time.perf_counter()
             try:
                 results = engine.run(batch.roots)
             except Exception as exc:
+                if tracer is not None:
+                    engine.tracer = None
                 self._fail_batch(batch, start + delay, exc)
                 raise
             kernel = time.perf_counter() - t0
+            if tracer is not None:
+                engine.tracer = None
+                engine_spans = tracer.spans[mark:]
+                measured = kernel
             break
         if self.batch_service_model is not None:
             kernel = self.batch_service_model(batch.roots)
@@ -594,11 +735,40 @@ class Server:
         if self.breaker.record_success():
             st.breaker_closes += 1
             self.batcher.max_batch = self._configured_max_batch
+        bspan = kspan = None
+        if tracer is not None:
+            bspan = tracer.begin(
+                "serve.batch", t=start, track="server",
+                semiring=batch.semiring, width=batch.width,
+                reason=batch.reason, engine=name,
+                queries=batch.n_queries)
+            if delay > 0.0:
+                tracer.record("serve.retry.backoff", start, start + delay,
+                              parent=bspan, retries=attempt)
+            kstart = start + delay
+            kspan = tracer.record("serve.kernel", kstart, completion,
+                                  parent=bspan, track="server", engine=name,
+                                  width=batch.width, measured_s=measured)
+            if engine_spans and measured > 0.0:
+                # Re-base the engine's wall-clock layer spans into the
+                # kernel's virtual window: offset to kstart, scaled so
+                # the measured duration fills the modeled one exactly.
+                scale = kernel / measured
+                for s in engine_spans:
+                    if s.parent_id is None:
+                        s.parent_id = kspan.span_id
+                    s.trace_id = kspan.trace_id
+                    s.t_start = kstart + (s.t_start - t0) * scale
+                    if s.t_end is not None:
+                        s.t_end = kstart + (s.t_end - t0) * scale
+            tracer.end(bspan, t=completion)
         out: list[QueryResult] = []
         batch_served = 0
         for j, res in enumerate(results):
             entry = self._entry_for(batch, j)
             self.mshr.dispatch(entry, res, completion, batch.width, name)
+            if tracer is not None:
+                entry.kernel_span = kspan
             nwaiters = len(entry.waiters)
             for i, ticket in enumerate(entry.waiters):
                 latency = completion - ticket.submitted_at
@@ -618,6 +788,9 @@ class Server:
                     st.served += 1
                     batch_served += 1
                     st.latencies.append(latency)
+                if tracer is not None:
+                    self._trace_finish(ticket, qr, start, completion,
+                                       bspan, kspan, mshr_hit=i > 0)
                 ticket._resolve(qr)
                 out.append(qr)
         if batch_served == 0:
@@ -626,6 +799,24 @@ class Server:
             # results are still cached for future queries).
             st.kernel_s_wasted += kernel
         return out
+
+    def _trace_finish(self, ticket: Ticket, qr: QueryResult, start: float,
+                      completion: float, batch_span, kernel_span, *,
+                      mshr_hit: bool) -> None:
+        """Close one waiter's root span at its batch's completion time,
+        linking it to the batch/kernel spans that answered it (and
+        recording the queueing wait, when there was one)."""
+        span = ticket.span
+        if span is None:
+            return
+        if start > ticket.submitted_at:
+            self.tracer.record("serve.queue", ticket.submitted_at, start,
+                               parent=span)
+        self.tracer.end(
+            span, t=completion, status=qr.status, mshr_hit=mshr_hit,
+            batch_span=batch_span.span_id, kernel_span=kernel_span.span_id,
+            engine=qr.engine, latency_s=qr.latency_s)
+        qr.span = span
 
     def _fail_batch(self, batch: Batch, completion: float,
                     exc: BaseException) -> list[QueryResult]:
@@ -644,6 +835,10 @@ class Server:
             for ticket in entry.waiters:
                 qr = Failed(ticket.query, error=str(exc) or repr(exc),
                             latency_s=completion - ticket.submitted_at)
+                if self.tracer is not None and ticket.span is not None:
+                    self.tracer.end(ticket.span, t=completion,
+                                    status="failed", latency_s=qr.latency_s)
+                    qr.span = ticket.span
                 ticket._resolve(qr)
                 st.failed += 1
                 out.append(qr)
@@ -683,18 +878,26 @@ class Server:
         latency = entry.completion - ticket.submitted_at
         if (ticket.deadline_at is not None
                 and entry.completion > ticket.deadline_at):
-            ticket._resolve(TimedOut(ticket.query, latency_s=latency))
+            qr = TimedOut(ticket.query, latency_s=latency)
             self.stats.timeouts += 1
-            return
-        qr = QueryResult(
-            query=ticket.query, status="served",
-            value=self._reduce(ticket.query, entry.result, entry.key),
-            bfs=entry.result, mshr_hit=True, waiters=len(entry.waiters),
-            batch_width=entry.batch_width, engine=entry.engine,
-            latency_s=latency)
+        else:
+            qr = QueryResult(
+                query=ticket.query, status="served",
+                value=self._reduce(ticket.query, entry.result, entry.key),
+                bfs=entry.result, mshr_hit=True, waiters=len(entry.waiters),
+                batch_width=entry.batch_width, engine=entry.engine,
+                latency_s=latency)
+            self.stats.served += 1
+            self.stats.latencies.append(latency)
+        if self.tracer is not None and ticket.span is not None:
+            kspan = entry.kernel_span
+            self.tracer.end(
+                ticket.span, t=entry.completion, status=qr.status,
+                mshr_hit=True,
+                kernel_span=None if kspan is None else kspan.span_id,
+                latency_s=latency)
+            qr.span = ticket.span
         ticket._resolve(qr)
-        self.stats.served += 1
-        self.stats.latencies.append(qr.latency_s)
 
     def _reduce(self, query: Query, res: BFSResult,
                 key: tuple[int, str, int]):

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import percentile
 from repro.serve.server import Server
 
 __all__ = [
@@ -87,7 +88,8 @@ def poisson_arrivals(nqueries: int, rate: float, seed: int = 1) -> np.ndarray:
 def run_open_loop(server: Server, roots: np.ndarray, arrivals: np.ndarray,
                   *, kind: str = "distances",
                   semiring: str = "sel-max",
-                  deadline: float | None = None) -> dict:
+                  deadline: float | None = None,
+                  params: dict | None = None) -> dict:
     """Drive ``server`` with ``roots[i]`` arriving at ``arrivals[i]``.
 
     Arrivals must be non-decreasing.  Between consecutive arrivals the
@@ -97,6 +99,11 @@ def run_open_loop(server: Server, roots: np.ndarray, arrivals: np.ndarray,
     for).  ``deadline`` (seconds, relative) is attached to every query:
     answers arriving later resolve ``TimedOut`` and count in the
     report's ``timeouts``.
+
+    ``params`` (optional) are caller-side generation parameters — seed,
+    arrival rate, Zipf exponent — echoed verbatim into the report's
+    ``"workload"`` key so a saved report (or the trace exported next to
+    it) is self-describing and reproducible.
     """
     roots = np.asarray(roots, dtype=np.int64)
     arrivals = np.asarray(arrivals, dtype=np.float64)
@@ -123,12 +130,16 @@ def run_open_loop(server: Server, roots: np.ndarray, arrivals: np.ndarray,
         due = server.batcher.next_deadline()
     server.drain(now=end)
     makespan = max(server.busy_until, end) - float(arrivals[0])
-    return _report(server, before, tickets, makespan)
+    return _report(server, before, tickets, makespan,
+                   _workload_key("open-loop", kind, semiring,
+                                 deadline=deadline, nqueries=int(roots.size),
+                                 params=params))
 
 
 def run_closed_loop(server: Server, roots: np.ndarray, *,
                     clients: int | None = None, kind: str = "distances",
-                    semiring: str = "sel-max") -> dict:
+                    semiring: str = "sel-max",
+                    params: dict | None = None) -> dict:
     """Drive ``server`` with ``clients`` users of one outstanding query each.
 
     Round-robin: each round, every client submits its next root from
@@ -158,10 +169,26 @@ def run_closed_loop(server: Server, roots: np.ndarray, *,
                                          semiring=semiring, now=now))
         server.drain(now=now)
         now = max(now, server.busy_until)
-    return _report(server, before, tickets, makespan=now - start)
+    return _report(server, before, tickets, makespan=now - start,
+                   workload=_workload_key("closed-loop", kind, semiring,
+                                          clients=int(clients),
+                                          nqueries=int(roots.size),
+                                          params=params))
 
 
 # ----------------------------------------------------------------------
+def _workload_key(loop: str, kind: str, semiring: str, *,
+                  params: dict | None = None, **extra) -> dict:
+    """The report's self-description: loop shape, query mix, and the
+    caller's generation parameters (seed, rate, Zipf s, ...) merged in —
+    so a saved report states how to regenerate its own traffic."""
+    out = {"loop": loop, "kind": kind, "semiring": semiring}
+    out.update({k: v for k, v in extra.items() if v is not None})
+    if params:
+        out.update(params)
+    return out
+
+
 def _snapshot(server: Server) -> dict:
     """Counters before a run, so a shared server reports per-run deltas."""
     st, cs = server.stats, server.cache.stats
@@ -181,13 +208,15 @@ def _snapshot(server: Server) -> dict:
 
 
 def _report(server: Server, before: dict, tickets: list,
-            makespan: float) -> dict:
+            makespan: float, workload: dict | None = None) -> dict:
     """Per-run counters and percentiles.
 
     ``latency_*`` keys cover the *kernel path* only (queries resolved by
     a traversal, including MSHR waiters that shared one); cache hits are
     a separate population (``cache_latency_*``, identically 0.0 on the
     virtual clock) so Zipf-skewed hit traffic cannot drag p50 to zero.
+    ``workload`` is echoed under the ``"workload"`` key (self-describing
+    reports: loop shape, seed, arrival parameters).
     """
     st = server.stats
     lat = np.asarray(st.latencies[before["nlat"]:], dtype=np.float64)
@@ -204,6 +233,7 @@ def _report(server: Server, before: dict, tickets: list,
     kernel_s_useful = kernel_s - kernel_s_wasted
     makespan = float(max(makespan, 0.0))
     return {
+        "workload": workload if workload is not None else {},
         "nqueries": len(tickets),
         "served": served,
         "rejected": st.rejected - before["rejected"],
@@ -218,14 +248,12 @@ def _report(server: Server, before: dict, tickets: list,
                                   if kernel_s_useful > 0 else 0.0),
         "virtual_makespan_s": makespan,
         "virtual_throughput_qps": served / makespan if makespan > 0 else 0.0,
-        "latency_p50_s": float(np.percentile(lat, 50)) if lat.size else 0.0,
-        "latency_p95_s": float(np.percentile(lat, 95)) if lat.size else 0.0,
-        "latency_p99_s": float(np.percentile(lat, 99)) if lat.size else 0.0,
+        "latency_p50_s": percentile(lat, 50),
+        "latency_p95_s": percentile(lat, 95),
+        "latency_p99_s": percentile(lat, 99),
         "latency_mean_s": float(lat.mean()) if lat.size else 0.0,
-        "cache_latency_p50_s": (float(np.percentile(clat, 50))
-                                if clat.size else 0.0),
-        "cache_latency_p99_s": (float(np.percentile(clat, 99))
-                                if clat.size else 0.0),
+        "cache_latency_p50_s": percentile(clat, 50),
+        "cache_latency_p99_s": percentile(clat, 99),
         # Resilience counters (all zero under a fault-free run).
         "timeouts": st.timeouts - before["timeouts"],
         "retries": st.retries - before["retries"],

@@ -258,3 +258,43 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestTraceCommand:
+    def test_serve_trace_roundtrip(self, tmp_path, capsys):
+        jsonl = str(tmp_path / "serve.jsonl")
+        chrome = str(tmp_path / "serve.json")
+        assert main(["serve", "kronecker:8,4", "--queries", "32",
+                     "--arrival-rate", "2000", "--trace", jsonl]) == 0
+        out = capsys.readouterr().out
+        assert f"spans to {jsonl}" in out
+
+        from repro.obs.export import load_trace
+
+        spans = load_trace(jsonl)
+        assert spans and all(s.t_end is not None for s in spans)
+        assert sum(1 for s in spans if s.name == "serve.query") == 32
+
+        # Summarize, convert to Chrome format, re-summarize: the span
+        # population must survive the round trip.
+        assert main(["trace", jsonl, "--chrome", chrome]) == 0
+        out = capsys.readouterr().out
+        assert "serve.query" in out and "serve.kernel" in out
+        assert main(["trace", chrome]) == 0
+        out2 = capsys.readouterr().out
+        assert len(load_trace(chrome)) == len(spans)
+        assert f"{len(spans)} spans" in out and f"{len(spans)} spans" in out2
+
+    def test_exec_trace_export(self, tmp_path, capsys):
+        path = str(tmp_path / "exec.json")
+        assert main(["exec", "kronecker:8,4", "--workers", "2", "-C", "8",
+                     "--nroots", "4", "--trace", path]) == 0
+        assert "spans" in capsys.readouterr().out
+        from repro.obs.export import load_trace
+
+        names = {s.name for s in load_trace(path)}
+        assert {"bfs.layer", "exec.layer", "exec.worker"} <= names
+
+    def test_trace_rejects_missing_file(self, tmp_path):
+        with pytest.raises((SystemExit, OSError)):
+            main(["trace", str(tmp_path / "nope.jsonl")])
